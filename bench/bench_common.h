@@ -1,0 +1,40 @@
+// Shared helpers for the bench binaries: each binary prints its
+// reproduction (paper vs. measured) and then runs google-benchmark on the
+// kernels the experiment exercises.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/report.h"
+
+namespace sinet::bench {
+
+/// Print the experiment banner used by every bench binary.
+inline void banner(const std::string& exp_id, const std::string& title) {
+  std::printf("%s\n",
+              sinet::core::experiment_banner(exp_id, title).c_str());
+}
+
+/// Print one paper-vs-measured line.
+inline void pvm(const std::string& metric, const std::string& paper,
+                const std::string& measured) {
+  std::printf("%s\n",
+              sinet::core::paper_vs_measured(metric, paper, measured).c_str());
+}
+
+/// Standard main: run the reproduction first, then the microbenchmarks.
+#define SINET_BENCH_MAIN(reproduce_fn)                         \
+  int main(int argc, char** argv) {                            \
+    reproduce_fn();                                            \
+    ::benchmark::Initialize(&argc, argv);                      \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))  \
+      return 1;                                                \
+    ::benchmark::RunSpecifiedBenchmarks();                     \
+    ::benchmark::Shutdown();                                   \
+    return 0;                                                  \
+  }
+
+}  // namespace sinet::bench

@@ -1,0 +1,75 @@
+// Fig 5a — End-to-end packet reliability: terrestrial LoRaWAN vs. Tianqi
+// without retransmissions vs. Tianqi with up to 5 DtS retransmissions.
+// The ARQ-depth sweep is the DESIGN.md ablation.
+#include "bench_common.h"
+
+#include "core/active_experiment.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace sinet;
+using namespace sinet::core;
+
+constexpr double kDays = 7.0;
+
+void reproduce() {
+  sinet::bench::banner("Fig 5a", "End-to-end reliability: terr vs satellite");
+
+  Table t({"System", "reliability"});
+  double rel0 = 0.0, rel5 = 0.0, terr = 0.0;
+  for (const int retx : {0, 5}) {
+    ActiveExperimentKnobs knobs;
+    knobs.duration_days = kDays;
+    knobs.max_retransmissions = retx;
+    const ActiveComparison cmp = run_active_comparison(knobs);
+    const auto rel = summarize_reliability(cmp.satellite.uplinks,
+                                           cmp.run_end_unix_s);
+    if (retx == 0) {
+      rel0 = rel.reliability;
+      terr = cmp.terrestrial.delivered_fraction();
+      t.add_row({"Terrestrial LoRaWAN", fmt_pct(terr)});
+      t.add_row({"Tianqi (no retx)", fmt_pct(rel0)});
+    } else {
+      rel5 = rel.reliability;
+      t.add_row({"Tianqi (<=5 retx)", fmt_pct(rel5)});
+    }
+  }
+  std::printf("%s", t.render().c_str());
+
+  sinet::bench::pvm("terrestrial reliability", "~100%", fmt_pct(terr));
+  sinet::bench::pvm("satellite, no retx", "91%", fmt_pct(rel0));
+  sinet::bench::pvm("satellite, <=5 retx", "96%", fmt_pct(rel5));
+
+  // Ablation: ARQ depth sweep (0..5).
+  std::printf("\nAblation: ARQ depth vs reliability (3-day runs):\n");
+  Table a({"max retx", "reliability", "mean attempts"});
+  for (int retx = 0; retx <= 5; ++retx) {
+    ActiveExperimentKnobs knobs;
+    knobs.duration_days = 3.0;
+    knobs.max_retransmissions = retx;
+    const auto cfg = make_active_config(knobs);
+    const auto res = net::run_dts_network(cfg);
+    const auto rel = summarize_reliability(
+        res.uplinks,
+        orbit::julian_to_unix(cfg.start_jd) + cfg.duration_days * 86400.0);
+    const auto rx = summarize_retx(res.uplinks);
+    a.add_row({std::to_string(retx), fmt_pct(rel.reliability),
+               fmt(rx.mean_attempts, 2)});
+  }
+  std::printf("%s", a.render().c_str());
+}
+
+void BM_DtsNetworkOneDay(benchmark::State& state) {
+  ActiveExperimentKnobs knobs;
+  knobs.duration_days = 1.0;
+  const auto cfg = make_active_config(knobs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::run_dts_network(cfg));
+  }
+}
+BENCHMARK(BM_DtsNetworkOneDay)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SINET_BENCH_MAIN(reproduce)

@@ -1,0 +1,69 @@
+// Fig 5c — End-to-end latency: terrestrial minutes-below-one vs. satellite
+// hours (paper: 0.2 min vs 135.2 min, a 643.6x gap).
+#include "bench_common.h"
+
+#include "core/active_experiment.h"
+#include "core/report.h"
+#include "stats/bootstrap.h"
+
+namespace {
+
+using namespace sinet;
+using namespace sinet::core;
+
+void reproduce() {
+  sinet::bench::banner("Fig 5c", "End-to-end latency: terr vs satellite");
+
+  ActiveExperimentKnobs knobs;
+  knobs.duration_days = 7.0;
+  const ActiveComparison cmp = run_active_comparison(knobs);
+
+  const auto sat = summarize_latency(cmp.satellite);
+  const double terr_min = cmp.terrestrial.mean_latency_s() / 60.0;
+
+  Table t({"System", "mean (min)", "median", "p90"});
+  t.add_row({"Terrestrial LoRaWAN", fmt(terr_min, 2), fmt(terr_min, 2),
+             fmt(terr_min * 1.5, 2)});
+  t.add_row({"Tianqi satellite IoT", fmt(sat.mean_min, 1),
+             fmt(sat.median_min, 1), fmt(sat.p90_min, 1)});
+  std::printf("%s", t.render().c_str());
+
+  sinet::bench::pvm("terrestrial latency", "0.2 min", fmt(terr_min, 2) + " min");
+  sinet::bench::pvm("satellite latency", "135.2 min",
+                    fmt(sat.mean_min, 1) + " min");
+  sinet::bench::pvm("latency ratio", "643.6x",
+                    fmt(sat.mean_min / terr_min, 0) + "x");
+
+  // Bootstrap CI on the satellite mean (the compressed campaign has
+  // hundreds of packets, not the paper's thousands — report uncertainty).
+  std::vector<double> latencies_min;
+  for (const auto& u : cmp.satellite.uplinks)
+    if (u.delivered) latencies_min.push_back(u.end_to_end_s() / 60.0);
+  if (latencies_min.size() > 10) {
+    sim::Rng rng(101);
+    const auto ci = stats::bootstrap_mean_ci(latencies_min, rng, 2000);
+    std::printf("satellite mean latency 95%% CI: [%.1f, %.1f] min (n=%zu)\n",
+                ci.low, ci.high, latencies_min.size());
+  }
+
+  // Latency CDF of the satellite side for plotting.
+  stats::EmpiricalCdf cdf;
+  for (const auto& u : cmp.satellite.uplinks)
+    if (u.delivered) cdf.add(u.end_to_end_s() / 60.0);
+  std::printf("\nsatellite E2E latency CDF (min, fraction):\n");
+  for (const auto& [v, p] : cdf.curve(11))
+    std::printf("  %7.1f  %.2f\n", v, p);
+}
+
+void BM_LorawanMonth(benchmark::State& state) {
+  net::LorawanConfig cfg;
+  cfg.duration_days = 30.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::run_lorawan(cfg));
+  }
+}
+BENCHMARK(BM_LorawanMonth)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SINET_BENCH_MAIN(reproduce)

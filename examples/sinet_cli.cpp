@@ -1,0 +1,197 @@
+// sinet — command-line front end to the framework.
+//
+//   sinet passes <lat> <lon> [constellation] [hours]   upcoming contacts
+//   sinet availability <lat>                           daily hours/fleet
+//   sinet campaign <site-code|all> <days> <out.csv>    passive campaign
+//   sinet active <days>                                Tianqi farm run
+//   sinet cost <sensors> <gateways>                    cost comparison
+//   sinet tle <file.tle> <lat> <lon>                   passes from a real
+//                                                      TLE catalog file
+//
+// Thin argument handling on purpose: each subcommand is three or four
+// calls into the public API, mirroring what downstream users would write.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "core/active_experiment.h"
+#include "core/availability.h"
+#include "core/contact_analysis.h"
+#include "core/passive_campaign.h"
+#include "core/report.h"
+#include "cost/cost_model.h"
+#include "orbit/tle_catalog.h"
+#include "trace/csv.h"
+
+using namespace sinet;
+using namespace sinet::core;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  sinet passes <lat> <lon> [constellation=Tianqi] [hours=24]\n"
+      "  sinet availability <lat>\n"
+      "  sinet campaign <site-code|all> <days> <out.csv>\n"
+      "  sinet active <days>\n"
+      "  sinet cost <sensors> <gateways>\n"
+      "  sinet tle <file.tle> <lat> <lon>\n");
+  return 2;
+}
+
+void print_passes(const std::vector<orbit::Tle>& catalog,
+                  const orbit::Geodetic& where, double hours) {
+  const orbit::JulianDate start = campaign_epoch_jd();
+  Table t({"Satellite", "AOS (UTC)", "duration (min)", "max elev"});
+  std::size_t count = 0;
+  for (const orbit::Tle& tle : catalog) {
+    const orbit::Sgp4 prop(tle);
+    for (const auto& w :
+         orbit::predict_passes(prop, where, start, start + hours / 24.0)) {
+      const orbit::CivilTime aos = orbit::civil_from_julian(w.aos_jd);
+      char when[32];
+      std::snprintf(when, sizeof(when), "%02d-%02d %02d:%02d", aos.month,
+                    aos.day, aos.hour, aos.minute);
+      t.add_row({tle.name.empty() ? std::to_string(tle.catalog_number)
+                                  : tle.name,
+                 when, fmt(w.duration_s() / 60.0, 1),
+                 fmt(w.max_elevation_deg, 0) + " deg"});
+      ++count;
+    }
+  }
+  std::printf("%s%zu passes in the next %.0f h\n", t.render().c_str(),
+              count, hours);
+}
+
+int cmd_passes(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const orbit::Geodetic where{std::atof(argv[2]), std::atof(argv[3]), 0.0};
+  const std::string name = argc > 4 ? argv[4] : "Tianqi";
+  const double hours = argc > 5 ? std::atof(argv[5]) : 24.0;
+  const auto spec = orbit::paper_constellation(name);
+  print_passes(orbit::generate_tles(spec, campaign_epoch_jd()), where,
+               hours);
+  return 0;
+}
+
+int cmd_availability(int argc, char** argv) {
+  if (argc < 3) return usage();
+  MeasurementSite site;
+  site.code = "CLI";
+  site.city = "cli";
+  site.location = {std::atof(argv[2]), 114.0, 0.0};
+  AvailabilityOptions opts;
+  opts.duration_days = 2.0;
+  Table t({"Constellation", "# sats", "daily presence (h)"});
+  for (const auto& spec : orbit::paper_constellations())
+    t.add_row({spec.name, std::to_string(spec.total_satellites()),
+               fmt(daily_presence_hours(spec, site, campaign_epoch_jd(),
+                                        opts),
+                   1)});
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_campaign(int argc, char** argv) {
+  if (argc < 5) return usage();
+  PassiveCampaignConfig cfg = default_campaign(std::atof(argv[3]));
+  if (std::strcmp(argv[2], "all") != 0) cfg.sites = {paper_site(argv[2])};
+  const PassiveCampaignResult res = run_passive_campaign(cfg);
+  std::ofstream out(argv[4]);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", argv[4]);
+    return 1;
+  }
+  trace::write_beacon_csv(out, res.traces.records());
+  std::printf("campaign complete: %zu traces -> %s\n", res.traces.size(),
+              argv[4]);
+  for (const auto& [site, counts] : res.windows_requested_observed)
+    std::printf("  %s: observed %zu of %zu windows\n", site.c_str(),
+                counts.second, counts.first);
+  return 0;
+}
+
+int cmd_active(int argc, char** argv) {
+  if (argc < 3) return usage();
+  ActiveExperimentKnobs knobs;
+  knobs.duration_days = std::atof(argv[2]);
+  const ActiveComparison cmp = run_active_comparison(knobs);
+  const auto rel =
+      summarize_reliability(cmp.satellite.uplinks, cmp.run_end_unix_s);
+  const auto lat = summarize_latency(cmp.satellite);
+  std::printf(
+      "satellite: reliability %s, mean latency %.1f min\n"
+      "terrestrial: reliability %s, mean latency %.2f min\n",
+      fmt_pct(rel.reliability).c_str(), lat.mean_min,
+      fmt_pct(cmp.terrestrial.delivered_fraction()).c_str(),
+      cmp.terrestrial.mean_latency_s() / 60.0);
+  return 0;
+}
+
+int cmd_cost(int argc, char** argv) {
+  if (argc < 4) return usage();
+  cost::Workload w;
+  w.sensor_count = std::atoi(argv[2]);
+  const int gateways = std::atoi(argv[3]);
+  const cost::TerrestrialPricing tp;
+  const cost::SatellitePricing sp;
+  std::printf(
+      "terrestrial: $%.0f construction + $%.1f/month\n"
+      "satellite:   $%.0f construction + $%.2f/month\n"
+      "break-even:  %.1f months\n",
+      cost::terrestrial_construction_usd(w, gateways, tp),
+      cost::terrestrial_monthly_usd(gateways, tp),
+      cost::satellite_construction_usd(w, sp),
+      cost::satellite_monthly_usd(w, sp),
+      cost::breakeven_months(w, gateways, tp, sp));
+  return 0;
+}
+
+int cmd_tle(int argc, char** argv) {
+  if (argc < 5) return usage();
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 1;
+  }
+  std::vector<orbit::Tle> catalog;
+  try {
+    catalog = orbit::read_tle_catalog(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  std::printf("loaded %zu TLEs from %s\n", catalog.size(), argv[2]);
+  // Deep-space entries cannot be flown by the near-earth propagator.
+  std::vector<orbit::Tle> leo;
+  for (const orbit::Tle& t : catalog) {
+    if (t.is_deep_space())
+      std::printf("  skipping %s (deep-space elements)\n", t.name.c_str());
+    else
+      leo.push_back(t);
+  }
+  print_passes(leo, {std::atof(argv[3]), std::atof(argv[4]), 0.0}, 24.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "passes") return cmd_passes(argc, argv);
+    if (cmd == "availability") return cmd_availability(argc, argv);
+    if (cmd == "campaign") return cmd_campaign(argc, argv);
+    if (cmd == "active") return cmd_active(argc, argv);
+    if (cmd == "cost") return cmd_cost(argc, argv);
+    if (cmd == "tle") return cmd_tle(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

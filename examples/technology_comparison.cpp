@@ -1,0 +1,95 @@
+// LoRa vs NB-IoT for Direct-to-Satellite uplinks.
+//
+//   $ ./technology_comparison
+//
+// The paper's DtS links use LoRa; 3GPP NB-IoT (NTN) is the main
+// alternative it names. This example compares the two across the pass
+// geometry of a Tianqi-class satellite: airtime, link closure (can the
+// technology close the link at that range at all?), Doppler exposure and
+// per-report transmit energy for the 20-byte agriculture workload.
+#include <cstdio>
+
+#include "channel/noise.h"
+#include "channel/path_loss.h"
+#include "core/report.h"
+#include "orbit/constellation.h"
+#include "phy/doppler.h"
+#include "phy/lora.h"
+#include "phy/nbiot.h"
+
+using namespace sinet;
+using namespace sinet::core;
+
+int main() {
+  constexpr int kPayload = 20;
+  constexpr double kCarrierHz = 400.45e6;
+  constexpr double kNodeEirpLora = 22.0 + 2.0;   // 22 dBm + whip gain
+  constexpr double kNodeEirpNbiot = 23.0 + 2.0;  // power class 3
+
+  const phy::LoraParams lora = phy::default_dts_params();
+
+  std::printf("LoRa vs NB-IoT for a 20-byte DtS report (Tianqi-class "
+              "satellite, 860 km)\n\n");
+
+  Table t({"Elevation", "range (km)", "path loss (dB)", "LoRa margin (dB)",
+           "NB-IoT reps", "LoRa airtime", "NB-IoT airtime"});
+  for (const double el : {5.0, 15.0, 30.0, 60.0, 90.0}) {
+    const double range = orbit::slant_range_km(860.0, el);
+    const double pl =
+        channel::free_space_path_loss_db(range, kCarrierHz) + 4.0;
+
+    // LoRa: fixed SF10 profile at the satellite gateway receiver.
+    const double lora_noise = channel::noise_floor_dbm(
+        lora.bandwidth_hz, 2.0, 2.0);
+    const double lora_snr = kNodeEirpLora + 4.5 /*sat ant*/ - pl - lora_noise;
+    const double lora_margin =
+        lora_snr - phy::demod_snr_threshold_db(lora.sf);
+
+    // NB-IoT: pick the repetition level that closes this SNR.
+    const double nb_noise = channel::noise_floor_dbm(15e3, 2.0, 2.0);
+    const double nb_snr = kNodeEirpNbiot + 4.5 - pl - nb_noise;
+    const int reps = phy::nbiot_choose_repetitions(nb_snr);
+
+    phy::NbIotParams nb;
+    char nb_air[32];
+    if (reps > 0) {
+      nb.repetitions = reps;
+      std::snprintf(nb_air, sizeof(nb_air), "%.2f s",
+                    phy::nbiot_transmission_time_s(nb, kPayload));
+    } else {
+      std::snprintf(nb_air, sizeof(nb_air), "no link");
+    }
+    t.add_row({fmt(el, 0) + " deg", fmt(range, 0), fmt(pl, 1),
+               fmt(lora_margin, 1), reps > 0 ? std::to_string(reps) : "-",
+               fmt(phy::time_on_air_s(lora, kPayload), 2) + " s", nb_air});
+  }
+  std::printf("%s", t.render().c_str());
+
+  // Energy per report at a mid-pass geometry (30 deg).
+  phy::NbIotParams nb;
+  nb.repetitions = 8;
+  const double lora_energy_mj =
+      3586.0 * phy::time_on_air_s(lora, kPayload);  // Tianqi-node Tx draw
+  const double nb_energy_mj = phy::nbiot_tx_energy_mj(nb, kPayload);
+  std::printf("\nper-report Tx energy (mid-pass): LoRa %.0f mJ vs NB-IoT "
+              "%.0f mJ (8 reps)\n",
+              lora_energy_mj, nb_energy_mj);
+
+  // Doppler: NB-IoT's 15 kHz subcarrier tolerates ~0.95 kHz raw offset
+  // (sub-ppm after pre-compensation is mandatory in NTN); LoRa tolerates
+  // a quarter of its 125 kHz bandwidth.
+  const double max_doppler =
+      7.5 / 299792.458 * kCarrierHz;  // worst-case LEO shift
+  std::printf(
+      "\nDoppler at 400 MHz: worst-case shift %.1f kHz\n"
+      "  LoRa capture range: +/-%.1f kHz -> tolerated without help\n"
+      "  NB-IoT subcarrier: 15 kHz -> requires pre-compensation (3GPP NTN "
+      "mandates GNSS-assisted correction)\n",
+      max_doppler / 1e3, 0.25 * lora.bandwidth_hz / 1e3);
+  std::printf(
+      "\nreading: LoRa closes the link unaided across the whole pass and "
+      "rides out Doppler; NB-IoT needs repetitions at the edges and "
+      "mandatory pre-compensation, but delivers far more capacity when "
+      "the link is good.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "channel/noise.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sinet::channel {
+
+double thermal_noise_dbm(double bandwidth_hz) {
+  if (bandwidth_hz <= 0.0)
+    throw std::invalid_argument("thermal_noise_dbm: bandwidth <= 0");
+  return -174.0 + 10.0 * std::log10(bandwidth_hz);
+}
+
+double noise_floor_dbm(double bandwidth_hz, double noise_figure_db,
+                       double external_noise_db) {
+  if (noise_figure_db < 0.0 || external_noise_db < 0.0)
+    throw std::invalid_argument("noise_floor_dbm: negative noise term");
+  return thermal_noise_dbm(bandwidth_hz) + noise_figure_db +
+         external_noise_db;
+}
+
+}  // namespace sinet::channel

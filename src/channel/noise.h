@@ -1,0 +1,16 @@
+// Receiver noise floor.
+#pragma once
+
+namespace sinet::channel {
+
+/// Thermal noise power (dBm) in `bandwidth_hz` at reference temperature
+/// (kTB with T = 290 K): -174 dBm/Hz + 10*log10(B).
+[[nodiscard]] double thermal_noise_dbm(double bandwidth_hz);
+
+/// Full receiver noise floor: thermal noise + noise figure + external
+/// (galactic/man-made) noise excess, which is non-negligible at UHF.
+[[nodiscard]] double noise_floor_dbm(double bandwidth_hz,
+                                     double noise_figure_db = 6.0,
+                                     double external_noise_db = 2.0);
+
+}  // namespace sinet::channel

@@ -1,0 +1,29 @@
+#include "channel/path_loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sinet::channel {
+
+double free_space_path_loss_db(double distance_km, double frequency_hz) {
+  if (distance_km <= 0.0)
+    throw std::invalid_argument("free_space_path_loss_db: distance <= 0");
+  if (frequency_hz <= 0.0)
+    throw std::invalid_argument("free_space_path_loss_db: frequency <= 0");
+  const double f_mhz = frequency_hz / 1e6;
+  return 32.44778322 + 20.0 * std::log10(distance_km) +
+         20.0 * std::log10(f_mhz);
+}
+
+double elevation_excess_loss_db(double elevation_deg, double zenith_loss_db,
+                                double max_db) {
+  if (zenith_loss_db < 0.0 || max_db < 0.0)
+    throw std::invalid_argument("elevation_excess_loss_db: negative loss");
+  if (elevation_deg <= 0.0) return max_db;
+  const double el_rad = elevation_deg * 3.14159265358979323846 / 180.0;
+  const double cosecant = 1.0 / std::sin(el_rad);
+  return std::min(zenith_loss_db * cosecant, max_db);
+}
+
+}  // namespace sinet::channel

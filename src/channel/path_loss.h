@@ -1,0 +1,25 @@
+// Free-space path loss and elevation-dependent excess loss for
+// ground-space links in the UHF (400-450 MHz) band.
+#pragma once
+
+namespace sinet::channel {
+
+/// Free-space path loss (dB) at distance `distance_km` and carrier
+/// `frequency_hz`. Throws std::invalid_argument for nonpositive inputs.
+[[nodiscard]] double free_space_path_loss_db(double distance_km,
+                                             double frequency_hz);
+
+/// Excess atmospheric/tropospheric loss (dB) as a function of elevation.
+/// At low elevation the signal traverses a much longer slice of the
+/// troposphere and grazes terrain/clutter; the standard cosecant model is
+/// clamped at `max_db`. Zenith loss at UHF is small (~0.1 dB).
+[[nodiscard]] double elevation_excess_loss_db(double elevation_deg,
+                                              double zenith_loss_db = 0.1,
+                                              double max_db = 10.0);
+
+/// Polarization mismatch loss (dB) between a linearly polarized ground
+/// whip and a tumbling-satellite dipole; a fixed average of 3 dB is the
+/// standard assumption for non-stabilized nanosats.
+[[nodiscard]] constexpr double polarization_loss_db() noexcept { return 3.0; }
+
+}  // namespace sinet::channel

@@ -1,0 +1,104 @@
+#include "core/availability.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sinet::core {
+
+namespace {
+
+std::vector<orbit::ContactWindow> windows_for_tles(
+    const std::vector<orbit::Tle>& tles, const MeasurementSite& site,
+    orbit::JulianDate start_jd, const AvailabilityOptions& opts) {
+  orbit::PassPredictionOptions popts;
+  popts.min_elevation_deg = opts.min_elevation_deg;
+  popts.coarse_step_s = opts.pass_scan_step_s;
+  std::vector<orbit::ContactWindow> all;
+  for (const orbit::Tle& tle : tles) {
+    const orbit::Sgp4 prop(tle);
+    const auto ws = orbit::predict_passes(
+        prop, site.location, start_jd, start_jd + opts.duration_days, popts);
+    all.insert(all.end(), ws.begin(), ws.end());
+  }
+  return all;
+}
+
+}  // namespace
+
+std::vector<orbit::ContactWindow> constellation_windows(
+    const orbit::ConstellationSpec& spec, const MeasurementSite& site,
+    orbit::JulianDate start_jd, const AvailabilityOptions& opts) {
+  if (opts.duration_days <= 0.0)
+    throw std::invalid_argument("constellation_windows: bad duration");
+  const auto tles = orbit::generate_tles(spec, start_jd);
+  return orbit::merge_windows(
+      windows_for_tles(tles, site, start_jd, opts));
+}
+
+double daily_presence_hours(const orbit::ConstellationSpec& spec,
+                            const MeasurementSite& site,
+                            orbit::JulianDate start_jd,
+                            const AvailabilityOptions& opts) {
+  const auto windows = constellation_windows(spec, site, start_jd, opts);
+  return orbit::daily_visible_seconds(windows, start_jd,
+                                      start_jd + opts.duration_days) /
+         3600.0;
+}
+
+std::vector<double> per_satellite_daily_hours(
+    const orbit::ConstellationSpec& spec, const MeasurementSite& site,
+    orbit::JulianDate start_jd, const AvailabilityOptions& opts) {
+  const auto tles = orbit::generate_tles(spec, start_jd);
+  std::vector<double> out;
+  out.reserve(tles.size());
+  orbit::PassPredictionOptions popts;
+  popts.min_elevation_deg = opts.min_elevation_deg;
+  popts.coarse_step_s = opts.pass_scan_step_s;
+  for (const orbit::Tle& tle : tles) {
+    const orbit::Sgp4 prop(tle);
+    const auto ws = orbit::predict_passes(
+        prop, site.location, start_jd, start_jd + opts.duration_days, popts);
+    out.push_back(orbit::daily_visible_seconds(
+                      ws, start_jd, start_jd + opts.duration_days) /
+                  3600.0);
+  }
+  return out;
+}
+
+std::vector<double> presence_vs_constellation_size(
+    const orbit::ConstellationSpec& spec, const MeasurementSite& site,
+    orbit::JulianDate start_jd, const std::vector<int>& sizes,
+    const AvailabilityOptions& opts) {
+  const auto tles = orbit::generate_tles(spec, start_jd);
+  std::vector<double> out;
+  for (const int k : sizes) {
+    if (k <= 0 || k > static_cast<int>(tles.size()))
+      throw std::invalid_argument(
+          "presence_vs_constellation_size: size out of range");
+    const std::vector<orbit::Tle> subset(tles.begin(), tles.begin() + k);
+    const auto merged = orbit::merge_windows(
+        windows_for_tles(subset, site, start_jd, opts));
+    out.push_back(orbit::daily_visible_seconds(
+                      merged, start_jd, start_jd + opts.duration_days) /
+                  3600.0);
+  }
+  return out;
+}
+
+std::vector<double> presence_by_latitude(
+    const orbit::ConstellationSpec& spec,
+    const std::vector<double>& latitudes_deg, orbit::JulianDate start_jd,
+    const AvailabilityOptions& opts) {
+  std::vector<double> out;
+  out.reserve(latitudes_deg.size());
+  for (const double lat : latitudes_deg) {
+    MeasurementSite site;
+    site.code = "LAT";
+    site.city = "latitude probe";
+    site.location = {lat, 114.0, 0.0};
+    out.push_back(daily_presence_hours(spec, site, start_jd, opts));
+  }
+  return out;
+}
+
+}  // namespace sinet::core

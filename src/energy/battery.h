@@ -1,0 +1,33 @@
+// Battery capacity and lifetime estimation (paper Fig 6d).
+#pragma once
+
+namespace sinet::energy {
+
+struct Battery {
+  double capacity_mah = 5000.0;  ///< paper's "5,000" battery
+  double nominal_voltage_v = 3.7;
+
+  [[nodiscard]] double energy_mwh() const noexcept {
+    return capacity_mah * nominal_voltage_v;
+  }
+};
+
+/// Days a battery lasts at the given average power draw.
+/// Throws std::invalid_argument for nonpositive power.
+[[nodiscard]] double lifetime_days(const Battery& battery,
+                                   double average_power_mw);
+
+/// Remaining charge fraction after `days` at `average_power_mw` (clamped
+/// to [0, 1]).
+[[nodiscard]] double remaining_fraction(const Battery& battery,
+                                        double average_power_mw, double days);
+
+/// Lifetime including chemistry self-discharge: the cell loses
+/// `self_discharge_fraction_per_month` of its *remaining* charge per
+/// 30-day month on top of the load. Solved analytically from
+/// dQ/dt = -P - k Q. For LiSOCl2 cells (typical IoT) k ~ 1-2%/month.
+[[nodiscard]] double lifetime_days_with_self_discharge(
+    const Battery& battery, double average_power_mw,
+    double self_discharge_fraction_per_month = 0.01);
+
+}  // namespace sinet::energy

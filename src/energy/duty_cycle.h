@@ -1,0 +1,52 @@
+// Analytic duty-cycle builders for the energy comparison experiments.
+//
+// The protocol simulator (net/) tracks residencies exactly; these builders
+// provide the closed-form daily duty profiles used by the Fig 6 / Fig 10 /
+// Fig 11 benches, derived from the application workload (20-byte report
+// every 30 minutes) and each system's operating discipline.
+#pragma once
+
+#include "energy/power_model.h"
+
+namespace sinet::energy {
+
+struct TerrestrialDutyParams {
+  double report_interval_s = 1800.0;  ///< 20-byte report every 30 min
+  double tx_time_per_report_s = 0.33; ///< SF10 ToA for ~20 B
+  /// LoRaWAN class-A: two short Rx windows after each uplink.
+  double rx_time_per_report_s = 0.4;
+  /// Wake/measure/encode overhead spent in standby around each report.
+  double standby_time_per_report_s = 2.0;
+};
+
+struct SatelliteDutyParams {
+  double report_interval_s = 1800.0;
+  /// Mean DtS attempts per report (ARQ; paper Fig 5b: ~1.7 on average).
+  double mean_tx_attempts = 1.7;
+  double tx_time_per_attempt_s = 0.37;  ///< SF10 ToA for 20 B + headers
+  /// Fraction of the day the node holds MCU+Rx waiting for beacons. The
+  /// paper attributes the battery gap mostly to this hang-on time: a node
+  /// cannot predict effective windows, so the Rx radio idles through the
+  /// (much longer) theoretical presence of the constellation.
+  double rx_listen_fraction = 0.78;  ///< Tianqi theoretical ~18.5 h/day
+};
+
+/// Residency of one day (86,400 s) of terrestrial LoRaWAN operation.
+[[nodiscard]] ResidencyTracker terrestrial_daily_duty(
+    const TerrestrialDutyParams& p = {});
+
+/// Residency of one day of Tianqi-node operation.
+[[nodiscard]] ResidencyTracker satellite_daily_duty(
+    const SatelliteDutyParams& p = {});
+
+/// Residency reproducing the *measured* terrestrial breakdown of paper
+/// Fig 11 (95% of time in sleep+standby, yet >70% of energy in Tx+Rx).
+/// Note: that energy split implies far more radio airtime than the
+/// 48-reports/day application alone generates — the deployed RAK nodes
+/// evidently carried additional radio activity (join traffic, MAC
+/// commands, sensing). This profile is calibrated to the figure, while
+/// terrestrial_daily_duty() stays workload-derived; EXPERIMENTS.md
+/// discusses the difference.
+[[nodiscard]] ResidencyTracker paper_fig11_terrestrial_duty();
+
+}  // namespace sinet::energy

@@ -1,0 +1,64 @@
+// Radio/MCU power-state model.
+//
+// Mode power draws are taken from the paper's own measurements: Fig 10
+// for the terrestrial LoRaWAN node (Tx 1630 mW, Rx 265 mW, Standby 146 mW,
+// Sleep 19.1 mW) and Sec 3.2/Fig 6 for the Tianqi satellite node (Tx
+// 2.2x the terrestrial Tx; Rx kept on while waiting for passes; only
+// sleep / MCU+Rx / MCU+Tx modes exist).
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace sinet::energy {
+
+enum class Mode : int { kSleep = 0, kStandby = 1, kRx = 2, kTx = 3 };
+inline constexpr int kModeCount = 4;
+
+[[nodiscard]] std::string to_string(Mode m);
+
+/// Per-mode power draw in milliwatts.
+struct PowerProfile {
+  double sleep_mw = 0.0;
+  double standby_mw = 0.0;
+  double rx_mw = 0.0;
+  double tx_mw = 0.0;
+  bool has_standby = true;  ///< Tianqi nodes have no standby mode
+
+  [[nodiscard]] double power_mw(Mode m) const;
+};
+
+/// Terrestrial LoRaWAN node profile (paper Fig 10).
+[[nodiscard]] PowerProfile terrestrial_node_profile();
+
+/// Tianqi satellite IoT node profile (paper Fig 6a: Tx = 2.2x terrestrial,
+/// MCU stays powered in sleep, no standby mode).
+[[nodiscard]] PowerProfile satellite_node_profile();
+
+/// Accumulates time spent per mode and converts to energy.
+class ResidencyTracker {
+ public:
+  /// Record `duration_s` seconds spent in `m`. Negative durations throw.
+  void record(Mode m, double duration_s);
+
+  [[nodiscard]] double seconds_in(Mode m) const;
+  [[nodiscard]] double total_seconds() const noexcept;
+  /// Fraction of total time in mode `m`; 0 when nothing recorded.
+  [[nodiscard]] double time_fraction(Mode m) const;
+
+  /// Energy consumed in mode `m` under `profile`, in milliwatt-hours.
+  [[nodiscard]] double energy_mwh(Mode m, const PowerProfile& profile) const;
+  [[nodiscard]] double total_energy_mwh(const PowerProfile& profile) const;
+  /// Fraction of total energy attributable to mode `m`.
+  [[nodiscard]] double energy_fraction(Mode m,
+                                       const PowerProfile& profile) const;
+  /// Time-averaged power draw (mW); 0 when nothing recorded.
+  [[nodiscard]] double average_power_mw(const PowerProfile& profile) const;
+
+  void reset() noexcept { seconds_.fill(0.0); }
+
+ private:
+  std::array<double, kModeCount> seconds_{};
+};
+
+}  // namespace sinet::energy

@@ -1,0 +1,41 @@
+// Terrestrial backhaul latency models.
+//
+// Once data reaches an operator ground station (satellite side) or an LTE
+// gateway (terrestrial side), it crosses the Internet to the subscriber
+// server. These delays are seconds at most — the paper's hour-scale
+// satellite latency comes from orbital waiting, which the simulator
+// produces; the backhaul just adds realistic tail noise.
+#pragma once
+
+#include "sim/rng.h"
+
+namespace sinet::net {
+
+struct BackhaulConfig {
+  double base_delay_s = 0.35;    ///< median one-way delivery time
+  double jitter_sigma_ln = 0.6;  ///< log-normal jitter shape
+  double processing_delay_s = 0.0;  ///< operator data-center processing
+};
+
+class BackhaulModel {
+ public:
+  explicit BackhaulModel(const BackhaulConfig& cfg = {});
+
+  /// Draw one delivery delay (s), always > 0.
+  [[nodiscard]] double draw_delay_s(sim::Rng& rng) const;
+
+  [[nodiscard]] const BackhaulConfig& config() const noexcept { return cfg_; }
+
+ private:
+  BackhaulConfig cfg_;
+};
+
+/// LTE backhaul used by the terrestrial gateways (tens of ms).
+[[nodiscard]] BackhaulConfig lte_backhaul();
+
+/// Tianqi delivery path: satellite-to-GS demod + data-center processing +
+/// Internet forwarding (paper Sec 2.3). The orbital wait dominates; the
+/// fixed part models operator-side batching.
+[[nodiscard]] BackhaulConfig tianqi_delivery_backhaul();
+
+}  // namespace sinet::net

@@ -1,0 +1,16 @@
+// Beacon broadcasting configuration.
+//
+// Like terrestrial LoRa gateways, IoT satellites periodically broadcast
+// beacons (paper Sec 2.2); nodes transmit uplink data only after decoding
+// a beacon, which gates transmissions to usable link conditions (paper
+// Appendix F, "High Beacon loss vs low application data loss").
+#pragma once
+
+namespace sinet::net {
+
+struct BeaconConfig {
+  double period_s = 10.0;    ///< beacon broadcast interval
+  int payload_bytes = 24;    ///< beacon frame payload (id, ephemeris hints)
+};
+
+}  // namespace sinet::net

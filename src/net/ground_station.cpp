@@ -1,0 +1,24 @@
+#include "net/ground_station.h"
+
+namespace sinet::net {
+
+std::vector<GroundStationSite> tianqi_ground_stations() {
+  // Spread across China's main regions (paper: "12 large ground stations,
+  // all located in China").
+  return {
+      {"GS-Beijing", {39.90, 116.41, 0.05}, 5.0},
+      {"GS-Shanghai", {31.23, 121.47, 0.01}, 5.0},
+      {"GS-Guangzhou", {23.13, 113.26, 0.02}, 5.0},
+      {"GS-Chengdu", {30.57, 104.07, 0.5}, 5.0},
+      {"GS-Xian", {34.34, 108.94, 0.4}, 5.0},
+      {"GS-Harbin", {45.80, 126.53, 0.15}, 5.0},
+      {"GS-Urumqi", {43.83, 87.62, 0.9}, 5.0},
+      {"GS-Lhasa", {29.65, 91.14, 3.65}, 5.0},
+      {"GS-Kunming", {24.88, 102.83, 1.9}, 5.0},
+      {"GS-Wuhan", {30.59, 114.31, 0.03}, 5.0},
+      {"GS-Sanya", {18.25, 109.51, 0.01}, 5.0},
+      {"GS-Kashgar", {39.47, 75.99, 1.3}, 5.0},
+  };
+}
+
+}  // namespace sinet::net

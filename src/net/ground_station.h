@@ -1,0 +1,29 @@
+// Ground-station site catalogs.
+//
+// Two kinds of ground stations appear in the study:
+//  - the operator's downlink stations (Tianqi runs 12, all in China),
+//    which receive the satellites' store-and-forward dumps; and
+//  - the low-cost passive TinyGS measurement stations that this study
+//    deployed at 8 cities (those live in core/scenario.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "orbit/geodetic.h"
+
+namespace sinet::net {
+
+struct GroundStationSite {
+  std::string name;
+  orbit::Geodetic location;
+  double min_elevation_deg = 5.0;  ///< downlink contact mask
+};
+
+/// The 12 Tianqi operator ground stations (paper Sec 2.3). Exact
+/// coordinates are not published; we place stations at the operator's
+/// publicly known teleport cities spread across China, which preserves
+/// the delivery-delay geometry (all downlink capacity is in China).
+[[nodiscard]] std::vector<GroundStationSite> tianqi_ground_stations();
+
+}  // namespace sinet::net

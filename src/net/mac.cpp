@@ -1,0 +1,46 @@
+#include "net/mac.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sinet::net {
+
+std::vector<double> assign_subslots(std::size_t responders, double toa_s,
+                                    double period_s, double guard_s,
+                                    double lead_in_s) {
+  if (toa_s <= 0.0 || period_s <= 0.0)
+    throw std::invalid_argument("assign_subslots: nonpositive duration");
+  if (guard_s < 0.0 || lead_in_s < 0.0)
+    throw std::invalid_argument("assign_subslots: negative guard/lead-in");
+  const double pitch = toa_s + guard_s;
+  const double usable = std::max(period_s - lead_in_s - toa_s, pitch);
+  const auto slots_per_period =
+      std::max<std::size_t>(1, static_cast<std::size_t>(usable / pitch));
+  std::vector<double> offsets;
+  offsets.reserve(responders);
+  for (std::size_t i = 0; i < responders; ++i)
+    offsets.push_back(lead_in_s +
+                      static_cast<double>(i % slots_per_period) * pitch);
+  return offsets;
+}
+
+bool survives_collisions(const Transmission& tx,
+                         const std::vector<Transmission>& others,
+                         const MacConfig& cfg) {
+  for (const Transmission& o : others) {
+    if (o.id == tx.id) continue;
+    if (!tx.overlaps(o)) continue;
+    if (tx.rssi_dbm - o.rssi_dbm < cfg.capture_threshold_db) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> resolve_collisions(
+    const std::vector<Transmission>& txs, const MacConfig& cfg) {
+  std::vector<std::uint64_t> winners;
+  for (const Transmission& tx : txs)
+    if (survives_collisions(tx, txs, cfg)) winners.push_back(tx.id);
+  return winners;
+}
+
+}  // namespace sinet::net

@@ -1,0 +1,29 @@
+// Reference-frame rotations: TEME (SGP4 output) <-> ECEF.
+//
+// SGP4 emits position/velocity in the True Equator Mean Equinox (TEME)
+// frame. Ground geometry wants Earth-fixed (ECEF) coordinates. We rotate
+// by GMST about the z-axis; polar motion (< 15 m) is ignored, which is
+// far below link-budget relevance.
+#pragma once
+
+#include "orbit/time.h"
+#include "orbit/vec3.h"
+
+namespace sinet::orbit {
+
+/// Earth rotation rate (rad/s), IAU-82 value.
+inline constexpr double kEarthRotationRadPerSec = 7.29211514670698e-5;
+
+/// Rotate a TEME position (km) into ECEF at the given UTC Julian date.
+[[nodiscard]] Vec3 teme_to_ecef_position(const Vec3& r_teme_km, JulianDate jd);
+
+/// Rotate a TEME velocity (km/s) into ECEF, including the transport term
+/// (-omega x r) due to the rotating frame.
+[[nodiscard]] Vec3 teme_to_ecef_velocity(const Vec3& r_teme_km,
+                                         const Vec3& v_teme_km_s,
+                                         JulianDate jd);
+
+/// Inverse rotation: ECEF position (km) -> TEME.
+[[nodiscard]] Vec3 ecef_to_teme_position(const Vec3& r_ecef_km, JulianDate jd);
+
+}  // namespace sinet::orbit

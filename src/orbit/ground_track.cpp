@@ -1,0 +1,68 @@
+#include "orbit/ground_track.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "orbit/frames.h"
+#include "orbit/time.h"
+
+namespace sinet::orbit {
+
+std::vector<GroundTrackPoint> ground_track(const Sgp4& prop,
+                                           JulianDate jd_start,
+                                           JulianDate jd_end, double step_s) {
+  if (step_s <= 0.0)
+    throw std::invalid_argument("ground_track: nonpositive step");
+  if (jd_end < jd_start)
+    throw std::invalid_argument("ground_track: reversed interval");
+  std::vector<GroundTrackPoint> out;
+  const double step_days = step_s / kSecondsPerDay;
+  for (JulianDate jd = jd_start; jd <= jd_end; jd += step_days) {
+    const TemeState st = prop.at_jd(jd);
+    GroundTrackPoint p;
+    p.jd = jd;
+    p.subsatellite =
+        ecef_to_geodetic(teme_to_ecef_position(st.position_km, jd));
+    p.speed_km_s = st.velocity_km_s.norm();
+    out.push_back(p);
+  }
+  return out;
+}
+
+double max_track_latitude_deg(const std::vector<GroundTrackPoint>& track) {
+  double max_lat = 0.0;
+  for (const GroundTrackPoint& p : track)
+    max_lat = std::max(max_lat, std::abs(p.subsatellite.latitude_deg));
+  return max_lat;
+}
+
+double nodal_drift_deg_per_orbit(
+    const std::vector<GroundTrackPoint>& track) {
+  // Find northbound equator crossings and difference their longitudes.
+  std::vector<double> crossing_lons;
+  for (std::size_t i = 1; i < track.size(); ++i) {
+    const double lat0 = track[i - 1].subsatellite.latitude_deg;
+    const double lat1 = track[i].subsatellite.latitude_deg;
+    if (lat0 < 0.0 && lat1 >= 0.0) {
+      // Linear interpolation of the crossing longitude.
+      const double f = -lat0 / (lat1 - lat0);
+      double lon0 = track[i - 1].subsatellite.longitude_deg;
+      double lon1 = track[i].subsatellite.longitude_deg;
+      // Unwrap across the date line.
+      if (lon1 - lon0 > 180.0) lon1 -= 360.0;
+      if (lon0 - lon1 > 180.0) lon1 += 360.0;
+      crossing_lons.push_back(lon0 + f * (lon1 - lon0));
+    }
+  }
+  if (crossing_lons.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 1; i < crossing_lons.size(); ++i) {
+    double d = crossing_lons[i] - crossing_lons[i - 1];
+    while (d > 180.0) d -= 360.0;
+    while (d < -180.0) d += 360.0;
+    sum += d;
+  }
+  return sum / static_cast<double>(crossing_lons.size() - 1);
+}
+
+}  // namespace sinet::orbit

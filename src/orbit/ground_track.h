@@ -1,0 +1,37 @@
+// Ground tracks: the subsatellite path of an orbiting satellite, used
+// for coverage visualization and latitude-coverage analysis.
+#pragma once
+
+#include <vector>
+
+#include "orbit/geodetic.h"
+#include "orbit/sgp4.h"
+
+namespace sinet::orbit {
+
+struct GroundTrackPoint {
+  JulianDate jd = 0.0;
+  Geodetic subsatellite;  ///< latitude/longitude/altitude of the nadir
+  double speed_km_s = 0.0;  ///< inertial speed at the sample
+};
+
+/// Sample the subsatellite track every `step_s` seconds (inclusive start,
+/// last sample at or before jd_end). Throws std::invalid_argument for a
+/// nonpositive step or reversed interval.
+[[nodiscard]] std::vector<GroundTrackPoint> ground_track(const Sgp4& prop,
+                                                         JulianDate jd_start,
+                                                         JulianDate jd_end,
+                                                         double step_s = 30.0);
+
+/// Highest |latitude| reached by the track — equals the orbital
+/// inclination for prograde orbits (180 - i for retrograde).
+[[nodiscard]] double max_track_latitude_deg(
+    const std::vector<GroundTrackPoint>& track);
+
+/// Westward drift of the ascending-node longitude per orbit (degrees),
+/// estimated from successive northbound equator crossings. Returns 0 if
+/// the track contains fewer than two crossings.
+[[nodiscard]] double nodal_drift_deg_per_orbit(
+    const std::vector<GroundTrackPoint>& track);
+
+}  // namespace sinet::orbit

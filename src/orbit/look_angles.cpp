@@ -1,0 +1,43 @@
+#include "orbit/look_angles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "orbit/time.h"
+
+namespace sinet::orbit {
+
+LookAngles look_angles(const Geodetic& observer, const Vec3& sat_ecef_km,
+                       const Vec3& sat_ecef_vel_km_s) {
+  const Vec3 obs_ecef = geodetic_to_ecef(observer);
+  const Vec3 rel = sat_ecef_km - obs_ecef;
+
+  const double lat = observer.latitude_deg * kDegToRad;
+  const double lon = observer.longitude_deg * kDegToRad;
+  const double sin_lat = std::sin(lat), cos_lat = std::cos(lat);
+  const double sin_lon = std::sin(lon), cos_lon = std::cos(lon);
+
+  // ECEF -> ENU (east, north, up) at the observer.
+  const double east = -sin_lon * rel.x + cos_lon * rel.y;
+  const double north = -sin_lat * cos_lon * rel.x - sin_lat * sin_lon * rel.y +
+                       cos_lat * rel.z;
+  const double up = cos_lat * cos_lon * rel.x + cos_lat * sin_lon * rel.y +
+                    sin_lat * rel.z;
+
+  LookAngles la;
+  la.range_km = rel.norm();
+  la.elevation_deg =
+      std::asin(std::clamp(up / la.range_km, -1.0, 1.0)) * kRadToDeg;
+  double az = std::atan2(east, north) * kRadToDeg;
+  if (az < 0.0) az += 360.0;
+  la.azimuth_deg = az;
+  // Observer is fixed in ECEF, so d(range)/dt = rel . v / |rel|.
+  la.range_rate_km_s = rel.dot(sat_ecef_vel_km_s) / la.range_km;
+  return la;
+}
+
+double doppler_shift_hz(double range_rate_km_s, double carrier_hz) noexcept {
+  return -range_rate_km_s / kSpeedOfLightKmPerSec * carrier_hz;
+}
+
+}  // namespace sinet::orbit

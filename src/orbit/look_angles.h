@@ -1,0 +1,31 @@
+// Topocentric look angles: azimuth / elevation / slant range / range rate
+// from a ground observer to a satellite, plus the Doppler shift that the
+// range rate induces on a carrier.
+#pragma once
+
+#include "orbit/geodetic.h"
+#include "orbit/vec3.h"
+
+namespace sinet::orbit {
+
+struct LookAngles {
+  double azimuth_deg = 0.0;    ///< clockwise from true north, [0, 360)
+  double elevation_deg = 0.0;  ///< above local horizon, [-90, 90]
+  double range_km = 0.0;       ///< slant range observer -> satellite
+  double range_rate_km_s = 0.0;  ///< d(range)/dt; negative = approaching
+};
+
+/// Compute look angles from an observer (geodetic, WGS-84) to a satellite
+/// given both ECEF position (km) and ECEF velocity (km/s).
+[[nodiscard]] LookAngles look_angles(const Geodetic& observer,
+                                     const Vec3& sat_ecef_km,
+                                     const Vec3& sat_ecef_vel_km_s);
+
+/// Doppler shift (Hz) observed on `carrier_hz` given a range rate.
+/// Approaching satellites (negative range rate) shift the carrier up.
+[[nodiscard]] double doppler_shift_hz(double range_rate_km_s,
+                                      double carrier_hz) noexcept;
+
+inline constexpr double kSpeedOfLightKmPerSec = 299792.458;
+
+}  // namespace sinet::orbit

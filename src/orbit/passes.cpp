@@ -1,0 +1,191 @@
+#include "orbit/passes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "orbit/frames.h"
+
+namespace sinet::orbit {
+
+namespace {
+
+double elevation_at(const Sgp4& prop, const Geodetic& obs, JulianDate jd) {
+  const TemeState st = prop.at_jd(jd);
+  const Vec3 r = teme_to_ecef_position(st.position_km, jd);
+  const Vec3 v = teme_to_ecef_velocity(st.position_km, st.velocity_km_s, jd);
+  return look_angles(obs, r, v).elevation_deg;
+}
+
+/// Bisect for the elevation-mask crossing between jd_lo (below/above) and
+/// jd_hi with opposite visibility state.
+JulianDate refine_crossing(const Sgp4& prop, const Geodetic& obs,
+                           JulianDate jd_lo, JulianDate jd_hi, double mask_deg,
+                           double tol_s) {
+  const bool lo_vis = elevation_at(prop, obs, jd_lo) >= mask_deg;
+  for (int i = 0; i < 64; ++i) {
+    if ((jd_hi - jd_lo) * kSecondsPerDay <= tol_s) break;
+    const JulianDate mid = 0.5 * (jd_lo + jd_hi);
+    const bool mid_vis = elevation_at(prop, obs, mid) >= mask_deg;
+    if (mid_vis == lo_vis)
+      jd_lo = mid;
+    else
+      jd_hi = mid;
+  }
+  return 0.5 * (jd_lo + jd_hi);
+}
+
+/// Golden-section search for max elevation inside [a, b].
+std::pair<JulianDate, double> refine_peak(const Sgp4& prop,
+                                          const Geodetic& obs, JulianDate a,
+                                          JulianDate b) {
+  constexpr double kInvPhi = 0.6180339887498949;
+  JulianDate x1 = b - kInvPhi * (b - a);
+  JulianDate x2 = a + kInvPhi * (b - a);
+  double f1 = elevation_at(prop, obs, x1);
+  double f2 = elevation_at(prop, obs, x2);
+  for (int i = 0; i < 48 && (b - a) * kSecondsPerDay > 0.5; ++i) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = elevation_at(prop, obs, x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = elevation_at(prop, obs, x1);
+    }
+  }
+  const JulianDate peak = 0.5 * (a + b);
+  return {peak, elevation_at(prop, obs, peak)};
+}
+
+}  // namespace
+
+PassSample sample_geometry(const Sgp4& prop, const Geodetic& observer,
+                           JulianDate jd) {
+  const TemeState st = prop.at_jd(jd);
+  const Vec3 r = teme_to_ecef_position(st.position_km, jd);
+  const Vec3 v = teme_to_ecef_velocity(st.position_km, st.velocity_km_s, jd);
+  PassSample s;
+  s.jd = jd;
+  s.look = look_angles(observer, r, v);
+  s.subsatellite_point = ecef_to_geodetic(r);
+  return s;
+}
+
+std::vector<ContactWindow> predict_passes(const Sgp4& prop,
+                                          const Geodetic& observer,
+                                          JulianDate jd_start,
+                                          JulianDate jd_end,
+                                          const PassPredictionOptions& opts) {
+  if (jd_end < jd_start)
+    throw std::invalid_argument("predict_passes: jd_end < jd_start");
+  if (opts.coarse_step_s <= 0.0)
+    throw std::invalid_argument("predict_passes: nonpositive step");
+
+  std::vector<ContactWindow> out;
+  const double step_days = opts.coarse_step_s / kSecondsPerDay;
+
+  bool prev_vis = elevation_at(prop, observer, jd_start) >=
+                  opts.min_elevation_deg;
+  JulianDate window_start = prev_vis ? jd_start : 0.0;
+
+  for (JulianDate jd = jd_start + step_days;; jd += step_days) {
+    const JulianDate t = std::min(jd, jd_end);
+    const bool vis =
+        elevation_at(prop, observer, t) >= opts.min_elevation_deg;
+    if (vis && !prev_vis) {
+      window_start = refine_crossing(prop, observer, t - step_days, t,
+                                     opts.min_elevation_deg,
+                                     opts.refine_tolerance_s);
+    } else if (!vis && prev_vis) {
+      const JulianDate window_end =
+          refine_crossing(prop, observer, t - step_days, t,
+                          opts.min_elevation_deg, opts.refine_tolerance_s);
+      ContactWindow w;
+      w.aos_jd = window_start;
+      w.los_jd = window_end;
+      auto [tca, elev] = refine_peak(prop, observer, w.aos_jd, w.los_jd);
+      w.tca_jd = tca;
+      w.max_elevation_deg = elev;
+      out.push_back(w);
+    }
+    prev_vis = vis;
+    if (t >= jd_end) break;
+  }
+  if (prev_vis) {  // window still open at jd_end: truncate
+    ContactWindow w;
+    w.aos_jd = window_start;
+    w.los_jd = jd_end;
+    auto [tca, elev] = refine_peak(prop, observer, w.aos_jd, w.los_jd);
+    w.tca_jd = tca;
+    w.max_elevation_deg = elev;
+    out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<PassSample> sample_pass(const Sgp4& prop, const Geodetic& observer,
+                                    const ContactWindow& window,
+                                    double step_s) {
+  if (step_s <= 0.0) throw std::invalid_argument("sample_pass: step <= 0");
+  std::vector<PassSample> out;
+  const double step_days = step_s / kSecondsPerDay;
+  for (JulianDate jd = window.aos_jd; jd < window.los_jd; jd += step_days)
+    out.push_back(sample_geometry(prop, observer, jd));
+  out.push_back(sample_geometry(prop, observer, window.los_jd));
+  return out;
+}
+
+std::vector<ContactWindow> merge_windows(std::vector<ContactWindow> windows) {
+  if (windows.empty()) return windows;
+  std::sort(windows.begin(), windows.end(),
+            [](const ContactWindow& a, const ContactWindow& b) {
+              return a.aos_jd < b.aos_jd;
+            });
+  std::vector<ContactWindow> merged;
+  merged.push_back(windows.front());
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    ContactWindow& last = merged.back();
+    const ContactWindow& w = windows[i];
+    if (w.aos_jd <= last.los_jd) {
+      if (w.los_jd > last.los_jd) last.los_jd = w.los_jd;
+      if (w.max_elevation_deg > last.max_elevation_deg) {
+        last.max_elevation_deg = w.max_elevation_deg;
+        last.tca_jd = w.tca_jd;
+      }
+    } else {
+      merged.push_back(w);
+    }
+  }
+  return merged;
+}
+
+double daily_visible_seconds(const std::vector<ContactWindow>& windows,
+                             JulianDate jd_start, JulianDate jd_end) {
+  if (jd_end <= jd_start)
+    throw std::invalid_argument("daily_visible_seconds: empty span");
+  const std::vector<ContactWindow> merged = merge_windows(windows);
+  double total_s = 0.0;
+  for (const ContactWindow& w : merged) {
+    const JulianDate a = std::max(w.aos_jd, jd_start);
+    const JulianDate b = std::min(w.los_jd, jd_end);
+    if (b > a) total_s += (b - a) * kSecondsPerDay;
+  }
+  return total_s / (jd_end - jd_start);
+}
+
+std::vector<double> contact_gaps_s(const std::vector<ContactWindow>& windows) {
+  const std::vector<ContactWindow> merged = merge_windows(windows);
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < merged.size(); ++i)
+    gaps.push_back((merged[i].aos_jd - merged[i - 1].los_jd) *
+                   kSecondsPerDay);
+  return gaps;
+}
+
+}  // namespace sinet::orbit

@@ -1,0 +1,75 @@
+// Contact-window ("pass") prediction for a satellite over a ground site.
+//
+// This is the paper's notion of *theoretical* contact: the interval during
+// which the satellite is above the observer's elevation mask, computed
+// from TLEs via SGP4 (paper Sec 3.1, Figs 3a/4a/4b).
+#pragma once
+
+#include <vector>
+
+#include "orbit/geodetic.h"
+#include "orbit/look_angles.h"
+#include "orbit/sgp4.h"
+#include "orbit/tle.h"
+
+namespace sinet::orbit {
+
+/// One predicted contact window.
+struct ContactWindow {
+  JulianDate aos_jd = 0.0;  ///< acquisition of signal (rise above mask)
+  JulianDate los_jd = 0.0;  ///< loss of signal (set below mask)
+  JulianDate tca_jd = 0.0;  ///< time of closest approach (max elevation)
+  double max_elevation_deg = 0.0;
+
+  [[nodiscard]] double duration_s() const noexcept {
+    return (los_jd - aos_jd) * kSecondsPerDay;
+  }
+};
+
+/// One sample of pass geometry, used to drive the channel model.
+struct PassSample {
+  JulianDate jd = 0.0;
+  LookAngles look;
+  Geodetic subsatellite_point;
+};
+
+struct PassPredictionOptions {
+  double min_elevation_deg = 0.0;  ///< elevation mask defining visibility
+  double coarse_step_s = 30.0;     ///< scan step; halved pass is ~60 s min
+  double refine_tolerance_s = 0.5; ///< bisection tolerance on AOS/LOS
+};
+
+/// Geometry of a satellite at a given instant, as seen from `observer`.
+[[nodiscard]] PassSample sample_geometry(const Sgp4& prop,
+                                         const Geodetic& observer,
+                                         JulianDate jd);
+
+/// Find all contact windows in [jd_start, jd_end].
+/// Windows already in progress at jd_start are truncated to jd_start;
+/// windows still open at jd_end are truncated to jd_end.
+[[nodiscard]] std::vector<ContactWindow> predict_passes(
+    const Sgp4& prop, const Geodetic& observer, JulianDate jd_start,
+    JulianDate jd_end, const PassPredictionOptions& opts = {});
+
+/// Sample look angles along a window at `step_s` spacing (inclusive ends).
+[[nodiscard]] std::vector<PassSample> sample_pass(const Sgp4& prop,
+                                                  const Geodetic& observer,
+                                                  const ContactWindow& window,
+                                                  double step_s = 5.0);
+
+/// Aggregate daily visibility: total seconds per day that at least one of
+/// the windows is open, averaged over the span. (Windows may overlap when
+/// aggregating a whole constellation; overlaps are merged.)
+[[nodiscard]] double daily_visible_seconds(
+    const std::vector<ContactWindow>& windows, JulianDate jd_start,
+    JulianDate jd_end);
+
+/// Gaps between consecutive (merged) windows, in seconds.
+[[nodiscard]] std::vector<double> contact_gaps_s(
+    const std::vector<ContactWindow>& windows);
+
+/// Merge overlapping/adjacent windows (for constellation-level analysis).
+[[nodiscard]] std::vector<ContactWindow> merge_windows(
+    std::vector<ContactWindow> windows);
+
+}  // namespace sinet::orbit

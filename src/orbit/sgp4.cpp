@@ -1,0 +1,268 @@
+#include "orbit/sgp4.h"
+
+#include <cmath>
+
+#include "orbit/time.h"
+
+namespace sinet::orbit {
+
+namespace {
+// WGS-72 gravitational constants, the SGP4/TLE convention.
+constexpr double kXke = 0.0743669161;        // sqrt(mu) in (er/min)^(3/2)
+constexpr double kXkmper = 6378.135;         // earth radius, km
+constexpr double kJ2 = 1.082616e-3;
+constexpr double kJ3 = -2.53881e-6;
+constexpr double kJ4 = -1.65597e-6;
+constexpr double kCk2 = 0.5 * kJ2;           // ae = 1
+constexpr double kCk4 = -0.375 * kJ4;
+constexpr double kQoms2t = 1.88027916e-9;    // ((q0 - s)*ae)^4, q0=120km s=78km
+constexpr double kS = 1.01222928;            // s = ae + 78/xkmper
+constexpr double kAe = 1.0;
+}  // namespace
+
+Sgp4::Sgp4(const Tle& tle) : epoch_jd_(tle.epoch_jd) {
+  if (tle.is_deep_space())
+    throw std::invalid_argument(
+        "Sgp4: deep-space elements (period >= 225 min) are out of scope; "
+        "all satellites in this framework are LEO");
+  if (tle.eccentricity < 0.0 || tle.eccentricity > 0.999)
+    throw std::invalid_argument("Sgp4: eccentricity out of [0, 0.999]");
+
+  e0_ = tle.eccentricity;
+  i0_ = tle.inclination_deg * kDegToRad;
+  raan0_ = tle.raan_deg * kDegToRad;
+  argp0_ = tle.arg_perigee_deg * kDegToRad;
+  m0_ = tle.mean_anomaly_deg * kDegToRad;
+  bstar_ = tle.bstar;
+  const double no = tle.mean_motion_rev_day * kTwoPi / kMinutesPerDay;
+
+  // --- Recover original mean motion and semi-major axis (Brouwer) ---
+  cosio_ = std::cos(i0_);
+  sinio_ = std::sin(i0_);
+  const double theta2 = cosio_ * cosio_;
+  x3thm1_ = 3.0 * theta2 - 1.0;
+  const double eosq = e0_ * e0_;
+  const double betao2 = 1.0 - eosq;
+  const double betao = std::sqrt(betao2);
+
+  const double a1 = std::pow(kXke / no, 2.0 / 3.0);
+  const double del1 = 1.5 * kCk2 * x3thm1_ / (a1 * a1 * betao * betao2);
+  const double ao =
+      a1 * (1.0 - del1 * (1.0 / 3.0 + del1 * (1.0 + 134.0 / 81.0 * del1)));
+  const double delo = 1.5 * kCk2 * x3thm1_ / (ao * ao * betao * betao2);
+  xnodp_ = no / (1.0 + delo);
+  aodp_ = ao / (1.0 - delo);
+
+  const double perigee_km = (aodp_ * (1.0 - e0_) - kAe) * kXkmper;
+  if (perigee_km < 90.0)
+    throw PropagationError("Sgp4: perigee below 90 km — orbit decayed");
+
+  // Use the "simple" model when perigee < 220 km.
+  simple_ = perigee_km < 220.0;
+
+  // --- Adjust s4/qoms24 for low perigees ---
+  double s4 = kS;
+  double qoms24 = kQoms2t;
+  if (perigee_km < 156.0) {
+    s4 = perigee_km - 78.0;
+    if (perigee_km < 98.0) s4 = 20.0;
+    qoms24 = std::pow((120.0 - s4) * kAe / kXkmper, 4.0);
+    s4 = s4 / kXkmper + kAe;
+  }
+
+  const double pinvsq = 1.0 / (aodp_ * aodp_ * betao2 * betao2);
+  const double tsi = 1.0 / (aodp_ - s4);
+  eta_ = aodp_ * e0_ * tsi;
+  const double etasq = eta_ * eta_;
+  const double eeta = e0_ * eta_;
+  const double psisq = std::abs(1.0 - etasq);
+  const double coef = qoms24 * std::pow(tsi, 4.0);
+  const double coef1 = coef / std::pow(psisq, 3.5);
+  const double c2 =
+      coef1 * xnodp_ *
+      (aodp_ * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq)) +
+       0.75 * kCk2 * tsi / psisq * x3thm1_ *
+           (8.0 + 3.0 * etasq * (8.0 + etasq)));
+  c1_ = bstar_ * c2;
+
+  const double a3ovk2 = -kJ3 / kCk2 * std::pow(kAe, 3.0);
+  c3_ = e0_ > 1e-4 ? coef * tsi * a3ovk2 * xnodp_ * kAe * sinio_ / e0_ : 0.0;
+
+  x1mth2_ = 1.0 - theta2;
+  c4_ = 2.0 * xnodp_ * coef1 * aodp_ * betao2 *
+        (eta_ * (2.0 + 0.5 * etasq) + e0_ * (0.5 + 2.0 * etasq) -
+         2.0 * kCk2 * tsi / (aodp_ * psisq) *
+             (-3.0 * x3thm1_ *
+                  (1.0 - 2.0 * eeta + etasq * (1.5 - 0.5 * eeta)) +
+              0.75 * x1mth2_ * (2.0 * etasq - eeta * (1.0 + etasq)) *
+                  std::cos(2.0 * argp0_)));
+  c5_ = 2.0 * coef1 * aodp_ * betao2 *
+        (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
+
+  const double theta4 = theta2 * theta2;
+  const double temp1 = 3.0 * kCk2 * pinvsq * xnodp_;
+  const double temp2 = temp1 * kCk2 * pinvsq;
+  const double temp3 = 1.25 * kCk4 * pinvsq * pinvsq * xnodp_;
+  xmdot_ = xnodp_ + 0.5 * temp1 * betao * x3thm1_ +
+           0.0625 * temp2 * betao * (13.0 - 78.0 * theta2 + 137.0 * theta4);
+  const double x1m5th = 1.0 - 5.0 * theta2;
+  omgdot_ = -0.5 * temp1 * x1m5th +
+            0.0625 * temp2 * (7.0 - 114.0 * theta2 + 395.0 * theta4) +
+            temp3 * (3.0 - 36.0 * theta2 + 49.0 * theta4);
+  const double xhdot1 = -temp1 * cosio_;
+  xnodot_ = xhdot1 + (0.5 * temp2 * (4.0 - 19.0 * theta2) +
+                      2.0 * temp3 * (3.0 - 7.0 * theta2)) *
+                         cosio_;
+  omgcof_ = bstar_ * c3_ * std::cos(argp0_);
+  xmcof_ = eeta > 1e-12
+               ? -(2.0 / 3.0) * coef * bstar_ * kAe / eeta
+               : 0.0;
+  xnodcf_ = 3.5 * betao2 * xhdot1 * c1_;
+  t2cof_ = 1.5 * c1_;
+  // Avoid divide-by-zero for i ~ 180 deg in xlcof.
+  const double onep_cosio =
+      std::abs(1.0 + cosio_) > 1.5e-12 ? 1.0 + cosio_ : 1.5e-12;
+  xlcof_ = 0.125 * a3ovk2 * sinio_ * (3.0 + 5.0 * cosio_) / onep_cosio;
+  aycof_ = 0.25 * a3ovk2 * sinio_;
+  delmo_ = std::pow(1.0 + eta_ * std::cos(m0_), 3.0);
+  sinmo_ = std::sin(m0_);
+  x7thm1_ = 7.0 * theta2 - 1.0;
+
+  d2_ = d3_ = d4_ = t3cof_ = t4cof_ = t5cof_ = 0.0;
+  if (!simple_) {
+    const double c1sq = c1_ * c1_;
+    d2_ = 4.0 * aodp_ * tsi * c1sq;
+    const double temp = d2_ * tsi * c1_ / 3.0;
+    d3_ = (17.0 * aodp_ + s4) * temp;
+    d4_ = 0.5 * temp * aodp_ * tsi * (221.0 * aodp_ + 31.0 * s4) * c1_;
+    t3cof_ = d2_ + 2.0 * c1sq;
+    t4cof_ = 0.25 * (3.0 * d3_ + c1_ * (12.0 * d2_ + 10.0 * c1sq));
+    t5cof_ = 0.2 * (3.0 * d4_ + 12.0 * c1_ * d3_ + 6.0 * d2_ * d2_ +
+                    15.0 * c1sq * (2.0 * d2_ + c1sq));
+  }
+}
+
+TemeState Sgp4::at(double tsince) const {
+  // --- Secular gravity and atmospheric drag ---
+  const double xmdf = m0_ + xmdot_ * tsince;
+  const double omgadf = argp0_ + omgdot_ * tsince;
+  const double xnoddf = raan0_ + xnodot_ * tsince;
+  double omega = omgadf;
+  double xmp = xmdf;
+  const double tsq = tsince * tsince;
+  const double xnode = xnoddf + xnodcf_ * tsq;
+  double tempa = 1.0 - c1_ * tsince;
+  double tempe = bstar_ * c4_ * tsince;
+  double templ = t2cof_ * tsq;
+  if (!simple_) {
+    const double delomg = omgcof_ * tsince;
+    const double delm =
+        xmcof_ * (std::pow(1.0 + eta_ * std::cos(xmdf), 3.0) - delmo_);
+    const double temp = delomg + delm;
+    xmp = xmdf + temp;
+    omega = omgadf - temp;
+    const double tcube = tsq * tsince;
+    const double tfour = tsince * tcube;
+    tempa -= d2_ * tsq + d3_ * tcube + d4_ * tfour;
+    tempe += bstar_ * c5_ * (std::sin(xmp) - sinmo_);
+    templ += t3cof_ * tcube + t4cof_ * tfour + t5cof_ * tfour * tsince;
+  }
+  const double a = aodp_ * tempa * tempa;
+  const double e = e0_ - tempe;
+  if (e >= 1.0 || e < -0.001)
+    throw PropagationError("Sgp4: eccentricity out of range after drag");
+  const double e_clamped = std::max(e, 1e-6);
+  const double xl = xmp + omega + xnode + xnodp_ * templ;
+  const double xn = kXke / std::pow(a, 1.5);
+
+  // --- Long period periodics ---
+  const double axn = e_clamped * std::cos(omega);
+  const double beta2 = 1.0 - e_clamped * e_clamped;
+  const double temp_lp = 1.0 / (a * beta2);
+  const double xll = temp_lp * xlcof_ * axn;
+  const double aynl = temp_lp * aycof_;
+  const double xlt = xl + xll;
+  const double ayn = e_clamped * std::sin(omega) + aynl;
+
+  // --- Solve Kepler's equation for (E + omega) ---
+  const double capu = wrap_two_pi(xlt - xnode);
+  double epw = capu;
+  double sinepw = 0.0, cosepw = 0.0;
+  double t3 = 0.0, t4 = 0.0, t5 = 0.0, t6 = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    sinepw = std::sin(epw);
+    cosepw = std::cos(epw);
+    t3 = axn * sinepw;
+    t4 = ayn * cosepw;
+    t5 = axn * cosepw;
+    t6 = ayn * sinepw;
+    const double next =
+        (capu - t4 + t3 - epw) / (1.0 - t5 - t6) + epw;
+    if (std::abs(next - epw) <= 1e-12) {
+      epw = next;
+      // Recompute trig terms for the converged anomaly.
+      sinepw = std::sin(epw);
+      cosepw = std::cos(epw);
+      t3 = axn * sinepw;
+      t4 = ayn * cosepw;
+      t5 = axn * cosepw;
+      t6 = ayn * sinepw;
+      break;
+    }
+    epw = next;
+  }
+
+  // --- Short period preliminary quantities ---
+  const double ecose = t5 + t6;
+  const double esine = t3 - t4;
+  const double elsq = axn * axn + ayn * ayn;
+  const double pl = a * (1.0 - elsq);
+  if (pl < 0.0) throw PropagationError("Sgp4: semi-latus rectum negative");
+  const double r = a * (1.0 - ecose);
+  const double invr = 1.0 / r;
+  const double rdot = kXke * std::sqrt(a) * esine * invr;
+  const double rfdot = kXke * std::sqrt(pl) * invr;
+  const double temp_sp = a * invr;
+  const double betal = std::sqrt(1.0 - elsq);
+  const double t3inv = 1.0 / (1.0 + betal);
+  const double cosu = temp_sp * (cosepw - axn + ayn * esine * t3inv);
+  const double sinu = temp_sp * (sinepw - ayn - axn * esine * t3inv);
+  const double u = std::atan2(sinu, cosu);
+  const double sin2u = 2.0 * sinu * cosu;
+  const double cos2u = 2.0 * cosu * cosu - 1.0;
+  const double invpl = 1.0 / pl;
+  const double tk1 = kCk2 * invpl;
+  const double tk2 = tk1 * invpl;
+
+  // --- Short period periodics ---
+  const double rk =
+      r * (1.0 - 1.5 * tk2 * betal * x3thm1_) + 0.5 * tk1 * x1mth2_ * cos2u;
+  if (rk < 1.0)
+    throw PropagationError("Sgp4: satellite below earth surface (decayed)");
+  const double uk = u - 0.25 * tk2 * x7thm1_ * sin2u;
+  const double xnodek = xnode + 1.5 * tk2 * cosio_ * sin2u;
+  const double xinck = i0_ + 1.5 * tk2 * cosio_ * sinio_ * cos2u;
+  const double rdotk = rdot - xn * tk1 * x1mth2_ * sin2u;
+  const double rfdotk = rfdot + xn * tk1 * (x1mth2_ * cos2u + 1.5 * x3thm1_);
+
+  // --- Orientation vectors and final state ---
+  const double sinuk = std::sin(uk);
+  const double cosuk = std::cos(uk);
+  const double sinik = std::sin(xinck);
+  const double cosik = std::cos(xinck);
+  const double sinnok = std::sin(xnodek);
+  const double cosnok = std::cos(xnodek);
+  const double xmx = -sinnok * cosik;
+  const double xmy = cosnok * cosik;
+  const Vec3 uvec{xmx * sinuk + cosnok * cosuk, xmy * sinuk + sinnok * cosuk,
+                  sinik * sinuk};
+  const Vec3 vvec{xmx * cosuk - cosnok * sinuk, xmy * cosuk - sinnok * sinuk,
+                  sinik * cosuk};
+
+  TemeState st;
+  st.position_km = uvec * (rk * kXkmper);
+  st.velocity_km_s = (uvec * rdotk + vvec * rfdotk) * (kXkmper / 60.0);
+  return st;
+}
+
+}  // namespace sinet::orbit

@@ -1,0 +1,72 @@
+// SGP4 orbital propagator (near-earth branch).
+//
+// Implementation of the near-earth SGP4 model from Spacetrack Report #3
+// (Hoots & Roehrich 1980) with the conventions of the Vallado et al. 2006
+// revision ("Revisiting Spacetrack Report #3", AIAA 2006-6753) — the exact
+// model the paper uses to compute theoretical satellite presence from TLEs.
+//
+// Every satellite in the study is LEO (period < 105 min), far below the
+// 225-minute deep-space threshold, so the SDP4 deep-space branch is out of
+// scope; constructing a propagator from a deep-space TLE throws.
+#pragma once
+
+#include <stdexcept>
+
+#include "orbit/tle.h"
+#include "orbit/vec3.h"
+
+namespace sinet::orbit {
+
+/// Position/velocity in the TEME frame.
+struct TemeState {
+  Vec3 position_km;
+  Vec3 velocity_km_s;
+};
+
+/// Thrown when propagation fails (decayed orbit, non-physical elements).
+class PropagationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// SGP4 propagator. Construct once per TLE (runs the init stage), then
+/// call at()/at_jd() any number of times; const and thread-compatible.
+class Sgp4 {
+ public:
+  /// Initialize from a TLE. Throws std::invalid_argument for deep-space
+  /// elements or eccentricity outside [0, 0.999], PropagationError if the
+  /// elements describe an already-decayed orbit.
+  explicit Sgp4(const Tle& tle);
+
+  /// Propagate to `tsince_min` minutes after the TLE epoch.
+  [[nodiscard]] TemeState at(double tsince_min) const;
+
+  /// Propagate to an absolute UTC Julian date.
+  [[nodiscard]] TemeState at_jd(JulianDate jd) const {
+    return at((jd - epoch_jd_) * kMinutesPerDay);
+  }
+
+  [[nodiscard]] JulianDate epoch_jd() const noexcept { return epoch_jd_; }
+  /// Original (Brouwer) mean motion recovered at init, rad/min.
+  [[nodiscard]] double mean_motion_rad_min() const noexcept { return xnodp_; }
+  /// Semi-major axis recovered at init, earth radii.
+  [[nodiscard]] double semi_major_axis_er() const noexcept { return aodp_; }
+
+ private:
+  // Epoch elements (radians / rad-per-min).
+  JulianDate epoch_jd_;
+  double e0_, i0_, raan0_, argp0_, m0_;
+  double bstar_;
+
+  // Init-stage derived constants (names follow Spacetrack Report #3).
+  bool simple_ = false;
+  double aodp_, xnodp_;
+  double cosio_, sinio_, x3thm1_, x1mth2_, x7thm1_, eta_;
+  double c1_, c3_, c4_, c5_;
+  double d2_, d3_, d4_;
+  double xmdot_, omgdot_, xnodot_, xnodcf_;
+  double omgcof_, xmcof_, t2cof_, t3cof_, t4cof_, t5cof_;
+  double xlcof_, aycof_, delmo_, sinmo_;
+};
+
+}  // namespace sinet::orbit

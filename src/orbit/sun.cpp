@@ -1,0 +1,51 @@
+#include "orbit/sun.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "orbit/sgp4.h"
+#include "orbit/tle.h"
+
+namespace sinet::orbit {
+
+Vec3 sun_direction_teme(JulianDate jd) {
+  // Low-precision solar position (Vallado Algorithm 29 / Meeus).
+  const double t = (jd - kJdJ2000) / 36525.0;
+  const double mean_lon_deg = 280.460 + 36000.771 * t;
+  const double mean_anom_deg = 357.5291092 + 35999.05034 * t;
+  const double m = wrap_two_pi(mean_anom_deg * kDegToRad);
+  const double ecliptic_lon_deg =
+      mean_lon_deg + 1.914666471 * std::sin(m) +
+      0.019994643 * std::sin(2.0 * m);
+  const double lambda = wrap_two_pi(ecliptic_lon_deg * kDegToRad);
+  const double obliquity = (23.439291 - 0.0130042 * t) * kDegToRad;
+  // Unit vector (mean equator & equinox of date ~ TEME for our purposes).
+  return Vec3{std::cos(lambda),
+              std::cos(obliquity) * std::sin(lambda),
+              std::sin(obliquity) * std::sin(lambda)};
+}
+
+bool in_earth_shadow(const Vec3& r_sat_km, JulianDate jd) {
+  const Vec3 s = sun_direction_teme(jd);
+  const double along = r_sat_km.dot(s);
+  if (along >= 0.0) return false;  // sunlit side of the planet
+  const Vec3 perp = r_sat_km - s * along;
+  return perp.norm() < kEarthRadiusKm;
+}
+
+double eclipse_fraction(const Sgp4& prop, JulianDate jd_start,
+                        JulianDate jd_end, double step_s) {
+  if (step_s <= 0.0)
+    throw std::invalid_argument("eclipse_fraction: nonpositive step");
+  if (jd_end <= jd_start)
+    throw std::invalid_argument("eclipse_fraction: empty interval");
+  std::size_t total = 0, shadowed = 0;
+  const double step_days = step_s / kSecondsPerDay;
+  for (JulianDate jd = jd_start; jd <= jd_end; jd += step_days) {
+    ++total;
+    if (in_earth_shadow(prop.at_jd(jd).position_km, jd)) ++shadowed;
+  }
+  return static_cast<double>(shadowed) / static_cast<double>(total);
+}
+
+}  // namespace sinet::orbit

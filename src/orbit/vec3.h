@@ -1,0 +1,42 @@
+// Minimal 3-vector used by the orbital mechanics code.
+#pragma once
+
+#include <cmath>
+
+namespace sinet::orbit {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(const Vec3& o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const noexcept {
+    return {x * s, y * s, z * s};
+  }
+  constexpr Vec3 operator/(double s) const noexcept {
+    return {x / s, y / s, z / s};
+  }
+  constexpr Vec3 operator-() const noexcept { return {-x, -y, -z}; }
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const noexcept {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(dot(*this)); }
+  [[nodiscard]] Vec3 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? *this / n : Vec3{};
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) noexcept { return v * s; }
+
+}  // namespace sinet::orbit

@@ -1,0 +1,38 @@
+#include "phy/doppler.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sinet::phy {
+
+double doppler_snr_penalty_db(const DopplerProfile& prof,
+                              const LoraParams& params,
+                              double packet_duration_s) {
+  if (packet_duration_s < 0.0)
+    throw std::invalid_argument("doppler_snr_penalty_db: negative duration");
+
+  const double offset = std::abs(prof.shift_hz);
+  const double tolerance = 0.25 * params.bandwidth_hz;
+  if (offset > tolerance) return 60.0;  // out of capture range: lost
+
+  // Quadratic penalty up to 3 dB at the edge of the capture range.
+  const double frac = offset / tolerance;
+  double penalty = 3.0 * frac * frac;
+
+  // Intra-packet drift in units of demodulator bins.
+  const double drift_hz = std::abs(prof.rate_hz_per_s) * packet_duration_s;
+  const double bins = drift_hz / params.bin_width_hz();
+  if (bins > 0.5) penalty += 1.0 * (bins - 0.5);
+
+  return penalty;
+}
+
+double max_doppler_rate_hz_s(double speed_km_s, double min_range_km,
+                             double carrier_hz) {
+  if (min_range_km <= 0.0)
+    throw std::invalid_argument("max_doppler_rate_hz_s: range <= 0");
+  constexpr double kC = 299792.458;  // km/s
+  return speed_km_s * speed_km_s / min_range_km * carrier_hz / kC;
+}
+
+}  // namespace sinet::phy

@@ -1,0 +1,91 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace sinet::sim {
+
+EventHandle EventQueue::schedule_at(SimTime t, Callback cb) {
+  if (t < now_)
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  if (!cb) throw std::invalid_argument("EventQueue: null callback");
+  const EventHandle h = next_seq_;
+  heap_.push(Entry{t, next_seq_, h, std::move(cb)});
+  ++next_seq_;
+  ++live_;
+  return h;
+}
+
+EventHandle EventQueue::schedule_in(SimTime delay, Callback cb) {
+  if (delay < 0.0)
+    throw std::invalid_argument("EventQueue: negative delay");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventQueue::cancel(EventHandle h) {
+  if (h == kInvalidEvent || h >= next_seq_) return false;
+  if (is_cancelled(h)) return false;
+  cancelled_.push_back(h);
+  if (live_ > 0) --live_;
+  return true;
+}
+
+bool EventQueue::is_cancelled(EventHandle h) {
+  return std::find(cancelled_.begin(), cancelled_.end(), h) !=
+         cancelled_.end();
+}
+
+bool EventQueue::empty() const noexcept { return live_ == 0; }
+
+SimTime EventQueue::peek_time() const {
+  // Const view: skip tombstoned entries without popping. The heap top is
+  // the earliest entry; tombstones are purged in step(), so we conservatively
+  // report the top entry's time (a cancelled top is purged on next step).
+  auto* self = const_cast<EventQueue*>(this);
+  while (!self->heap_.empty() &&
+         self->is_cancelled(self->heap_.top().handle)) {
+    self->heap_.pop();
+  }
+  if (self->heap_.empty())
+    throw std::logic_error("EventQueue: peek_time on empty queue");
+  return self->heap_.top().time;
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    if (is_cancelled(heap_.top().handle)) {
+      heap_.pop();
+      continue;
+    }
+    Entry e = heap_.top();
+    heap_.pop();
+    --live_;
+    now_ = e.time;
+    // Opportunistically clear tombstones once the heap drains.
+    if (heap_.empty()) cancelled_.clear();
+    e.cb();
+    return true;
+  }
+  cancelled_.clear();
+  return false;
+}
+
+std::size_t EventQueue::run_until(SimTime until) {
+  std::size_t executed = 0;
+  while (!empty()) {
+    const SimTime t = peek_time();
+    if (t > until) break;
+    if (step()) ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+std::size_t EventQueue::run_all() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+}  // namespace sinet::sim

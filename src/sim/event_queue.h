@@ -1,0 +1,73 @@
+// Deterministic discrete-event queue.
+//
+// Events are ordered by (time, insertion sequence) so that equal-time
+// events fire in schedule order — a requirement for reproducible protocol
+// simulations across platforms and STL implementations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sinet::sim {
+
+/// Simulation time in seconds since simulation epoch.
+using SimTime = double;
+
+using EventHandle = std::uint64_t;
+inline constexpr EventHandle kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `t`. Returns a handle usable with
+  /// cancel(). Throws std::invalid_argument if t precedes now().
+  EventHandle schedule_at(SimTime t, Callback cb);
+
+  /// Schedule `cb` `delay` seconds from now (delay >= 0).
+  EventHandle schedule_in(SimTime delay, Callback cb);
+
+  /// Lazily cancel a pending event. Cancelling an already-fired or unknown
+  /// handle is a harmless no-op. Returns true if the event was pending.
+  bool cancel(EventHandle h);
+
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  /// Time of the next live event; throws std::logic_error when empty.
+  [[nodiscard]] SimTime peek_time() const;
+
+  /// Pop and run the next event, advancing now(). Returns false if empty.
+  bool step();
+
+  /// Run until the queue drains or now() would exceed `until`.
+  /// Events at exactly `until` are executed. Returns events executed.
+  std::size_t run_until(SimTime until);
+
+  /// Run until the queue drains. Returns events executed.
+  std::size_t run_all();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventHandle handle;
+    Callback cb;
+    bool operator>(const Entry& o) const noexcept {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<EventHandle> cancelled_;  // sorted-on-demand tombstones
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+
+  bool is_cancelled(EventHandle h);
+};
+
+}  // namespace sinet::sim

@@ -1,0 +1,73 @@
+#include "sim/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sinet::sim {
+
+double Rng::uniform() {
+  return std::generate_canonical<double, 53>(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  if (hi < lo) throw std::invalid_argument("Rng::uniform: hi < lo");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (hi < lo) throw std::invalid_argument("Rng::uniform_int: hi < lo");
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::normal() {
+  std::normal_distribution<double> d(0.0, 1.0);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("Rng::exponential: mean <= 0");
+  return -mean * std::log1p(-uniform());
+}
+
+bool Rng::chance(double p) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  return uniform() < clamped;
+}
+
+double Rng::rayleigh(double sigma) {
+  if (sigma <= 0.0) throw std::invalid_argument("Rng::rayleigh: sigma <= 0");
+  return sigma * std::sqrt(-2.0 * std::log1p(-uniform()));
+}
+
+double Rng::rician_amplitude(double k_factor_db) {
+  // Rician with mean power E[r^2] = 1: deterministic LoS component of
+  // power K/(K+1) plus scattered complex Gaussian of power 1/(K+1).
+  const double k = std::pow(10.0, k_factor_db / 10.0);
+  const double los = std::sqrt(k / (k + 1.0));
+  const double sigma = std::sqrt(1.0 / (2.0 * (k + 1.0)));
+  const double x = los + sigma * normal();
+  const double y = sigma * normal();
+  return std::sqrt(x * x + y * y);
+}
+
+std::uint64_t derive_seed(std::uint64_t root, std::string_view component) {
+  // FNV-1a over the component name, mixed with the root seed, then a
+  // splitmix64 finalizer for avalanche.
+  std::uint64_t h = 14695981039346656037ull ^ root;
+  for (const char c : component) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  h += 0x9E3779B97F4A7C15ull;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  return h ^ (h >> 31);
+}
+
+}  // namespace sinet::sim

@@ -1,0 +1,63 @@
+// Seeded random number streams for reproducible simulation.
+//
+// Every stochastic component (channel fading, packet jitter, weather, ...)
+// draws from its own named stream so that adding a component never
+// perturbs the draws of another — runs stay comparable across versions.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace sinet::sim {
+
+/// One random stream. Thin, value-semantic wrapper over a 64-bit engine
+/// with the distribution helpers the simulator needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi). Requires hi >= lo.
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal (mean 0, stddev 1).
+  double normal();
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+  /// Exponential with given mean (>0).
+  double exponential(double mean);
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+  /// Rayleigh-distributed magnitude with scale sigma.
+  double rayleigh(double sigma);
+  /// Rician fading amplitude with K-factor (dB) and mean power 1.
+  double rician_amplitude(double k_factor_db);
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Derive a child seed from a root seed and a component name (FNV-1a).
+/// Deterministic across platforms.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t root,
+                                        std::string_view component);
+
+/// Factory producing independent named streams from one root seed.
+class RngFactory {
+ public:
+  explicit RngFactory(std::uint64_t root_seed) : root_(root_seed) {}
+  [[nodiscard]] Rng make(std::string_view component) const {
+    return Rng(derive_seed(root_, component));
+  }
+  [[nodiscard]] std::uint64_t root_seed() const noexcept { return root_; }
+
+ private:
+  std::uint64_t root_;
+};
+
+}  // namespace sinet::sim

@@ -1,0 +1,13 @@
+#include "sim/simulation.h"
+
+namespace sinet::sim {
+
+Rng& Simulation::rng(std::string_view component) {
+  const auto it = streams_.find(std::string(component));
+  if (it != streams_.end()) return it->second;
+  auto [inserted, ok] = streams_.emplace(std::string(component),
+                                         rng_factory_.make(component));
+  return inserted->second;
+}
+
+}  // namespace sinet::sim

@@ -1,0 +1,56 @@
+// Simulation context: event queue + named RNG streams + wall-clock anchor.
+//
+// Components receive a Simulation& and interact only through it, which
+// keeps every run reproducible from (scenario, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace sinet::sim {
+
+class Simulation {
+ public:
+  /// `epoch_unix_s`: wall-clock time (Unix seconds, UTC) of sim time 0.
+  /// Lets orbital components convert SimTime to absolute epochs.
+  explicit Simulation(std::uint64_t seed, double epoch_unix_s = 0.0)
+      : rng_factory_(seed), epoch_unix_s_(epoch_unix_s) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] EventQueue& events() noexcept { return events_; }
+  [[nodiscard]] SimTime now() const noexcept { return events_.now(); }
+  [[nodiscard]] double epoch_unix_s() const noexcept { return epoch_unix_s_; }
+  /// Absolute wall-clock (Unix seconds) of the current sim time.
+  [[nodiscard]] double unix_now() const noexcept {
+    return epoch_unix_s_ + now();
+  }
+
+  /// Named, lazily created random stream. Streams are stable: the same
+  /// name always maps to the same seed for a given root seed.
+  [[nodiscard]] Rng& rng(std::string_view component);
+
+  EventHandle at(SimTime t, EventQueue::Callback cb) {
+    return events_.schedule_at(t, std::move(cb));
+  }
+  EventHandle in(SimTime delay, EventQueue::Callback cb) {
+    return events_.schedule_in(delay, std::move(cb));
+  }
+
+  std::size_t run_until(SimTime t) { return events_.run_until(t); }
+  std::size_t run_all() { return events_.run_all(); }
+
+ private:
+  EventQueue events_;
+  RngFactory rng_factory_;
+  double epoch_unix_s_;
+  std::unordered_map<std::string, Rng> streams_;
+};
+
+}  // namespace sinet::sim

@@ -1,0 +1,91 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sinet::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : samples_(samples.begin(), samples.end()), sorted_(false) {}
+
+EmpiricalCdf::EmpiricalCdf(std::initializer_list<double> samples)
+    : samples_(samples), sorted_(false) {}
+
+void EmpiricalCdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::add(std::span<const double> xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  if (samples_.empty()) throw std::out_of_range("quantile of empty CDF");
+  if (p < 0.0 || p > 1.0 || std::isnan(p))
+    throw std::out_of_range("quantile probability must be in [0,1]");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double pos = p * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+double EmpiricalCdf::fraction_at_or_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::fraction_between(double lo, double hi) const {
+  if (samples_.empty() || hi < lo) return 0.0;
+  ensure_sorted();
+  const auto first = std::lower_bound(samples_.begin(), samples_.end(), lo);
+  const auto last = std::upper_bound(samples_.begin(), samples_.end(), hi);
+  return static_cast<double>(last - first) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points < 2) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p =
+        static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(quantile(p), p);
+  }
+  return out;
+}
+
+std::span<const double> EmpiricalCdf::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+std::string EmpiricalCdf::describe() const {
+  if (samples_.empty()) return "empty";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu p10=%.4g p50=%.4g p90=%.4g min=%.4g max=%.4g",
+                samples_.size(), quantile(0.1), quantile(0.5), quantile(0.9),
+                quantile(0.0), quantile(1.0));
+  return buf;
+}
+
+}  // namespace sinet::stats

@@ -1,0 +1,59 @@
+// Empirical cumulative distribution functions.
+//
+// The paper reports most results as CDFs (Figs 3b, 3c, 4a, 4b, 5b, 5c, 8,
+// 12a, 12b). This type collects samples and answers quantile / CDF queries
+// with linear interpolation between order statistics.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sinet::stats {
+
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::span<const double> samples);
+  EmpiricalCdf(std::initializer_list<double> samples);
+
+  void add(double x);
+  void add(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Quantile for p in [0, 1] with linear interpolation.
+  /// Throws std::out_of_range for p outside [0,1] or an empty CDF.
+  [[nodiscard]] double quantile(double p) const;
+
+  /// Median shorthand.
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  /// Fraction of samples <= x, in [0, 1]. Returns 0 for an empty CDF.
+  [[nodiscard]] double fraction_at_or_below(double x) const;
+
+  /// Fraction of samples inside [lo, hi] (inclusive).
+  [[nodiscard]] double fraction_between(double lo, double hi) const;
+
+  /// Evenly spaced (value, cumulative-fraction) points for plotting.
+  /// `points` >= 2; returns empty for an empty CDF.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      std::size_t points = 101) const;
+
+  /// Sorted view of the underlying samples.
+  [[nodiscard]] std::span<const double> sorted_samples() const;
+
+  /// Render "p10/p50/p90" style line for reports.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace sinet::stats

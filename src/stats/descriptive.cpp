@@ -1,0 +1,70 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sinet::stats {
+
+void StreamingStats::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+void StreamingStats::merge(const StreamingStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double StreamingStats::mean() const noexcept {
+  return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : mean_;
+}
+
+double StreamingStats::variance() const noexcept {
+  if (n_ < 2) return std::numeric_limits<double>::quiet_NaN();
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingStats::stddev() const noexcept {
+  const double v = variance();
+  return std::isnan(v) ? v : std::sqrt(v);
+}
+
+Summary summarize(const StreamingStats& s) noexcept {
+  Summary out;
+  out.count = s.count();
+  if (s.empty()) return out;
+  out.mean = s.mean();
+  out.stddev = s.count() < 2 ? 0.0 : s.stddev();
+  out.min = s.min();
+  out.max = s.max();
+  out.sum = s.sum();
+  return out;
+}
+
+std::string to_string(const Summary& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.4g sd=%.4g min=%.4g max=%.4g sum=%.4g", s.count,
+                s.mean, s.stddev, s.min, s.max, s.sum);
+  return buf;
+}
+
+}  // namespace sinet::stats

@@ -1,0 +1,68 @@
+// Streaming descriptive statistics (Welford online algorithm).
+//
+// Used throughout the measurement pipeline to summarize per-trace,
+// per-contact and per-experiment observables without retaining every
+// sample in memory.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+namespace sinet::stats {
+
+/// Online accumulator for count / mean / variance / min / max.
+///
+/// Numerically stable (Welford). All methods are O(1); merging two
+/// accumulators is supported for parallel or per-shard aggregation.
+class StreamingStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator into this one (Chan et al. parallel form).
+  void merge(const StreamingStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  /// Arithmetic mean; NaN when empty.
+  [[nodiscard]] double mean() const noexcept;
+  /// Unbiased sample variance; NaN when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  /// Sample standard deviation; NaN when fewer than two samples.
+  [[nodiscard]] double stddev() const noexcept;
+  /// Smallest sample; +inf when empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+  /// Largest sample; -inf when empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sum of all samples; 0 when empty.
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  void reset() noexcept { *this = StreamingStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Immutable snapshot of a StreamingStats, convenient for reporting.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Take a snapshot of `s` (NaNs are replaced by 0 for empty inputs).
+[[nodiscard]] Summary summarize(const StreamingStats& s) noexcept;
+
+/// Render a summary as a fixed-width human-readable line.
+[[nodiscard]] std::string to_string(const Summary& s);
+
+}  // namespace sinet::stats

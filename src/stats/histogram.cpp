@@ -1,0 +1,74 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sinet::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  counts_.assign(bins, 0.0);
+}
+
+void Histogram::add(double x) noexcept { add(x, 1.0); }
+
+void Histogram::add(double x, double weight) noexcept {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);  // guard fp edge at hi_
+  counts_[idx] += weight;
+}
+
+double Histogram::bin_lower_edge(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::bin_center(std::size_t i) const noexcept {
+  return bin_lower_edge(i) + 0.5 * width_;
+}
+
+double Histogram::count(std::size_t i) const { return counts_.at(i); }
+
+double Histogram::fraction(std::size_t i) const {
+  if (total_ <= 0.0) return 0.0;
+  return counts_.at(i) / total_;
+}
+
+std::size_t Histogram::mode_bin() const {
+  if (counts_.empty()) throw std::logic_error("mode_bin of empty histogram");
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::string out;
+  const double peak =
+      counts_.empty() ? 0.0 : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char head[96];
+    std::snprintf(head, sizeof(head), "[%10.3g,%10.3g) %8.0f |",
+                  bin_lower_edge(i), bin_lower_edge(i) + width_, counts_[i]);
+    out += head;
+    if (peak > 0.0) {
+      const auto bar = static_cast<std::size_t>(
+          std::lround(counts_[i] / peak * static_cast<double>(max_width)));
+      out.append(bar, '#');
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sinet::stats

@@ -1,0 +1,49 @@
+// Fixed-width binned histogram with under/overflow accounting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sinet::stats {
+
+/// Equal-width histogram over [lo, hi) with `bins` buckets.
+/// Samples below lo / at-or-above hi are tracked separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add(double x, double weight) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+  [[nodiscard]] double bin_lower_edge(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_center(std::size_t i) const noexcept;
+  [[nodiscard]] double count(std::size_t i) const;
+  [[nodiscard]] double underflow() const noexcept { return underflow_; }
+  [[nodiscard]] double overflow() const noexcept { return overflow_; }
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// Fraction of total mass in bin i; 0 if the histogram is empty.
+  [[nodiscard]] double fraction(std::size_t i) const;
+
+  /// Index of the fullest bin (first on ties). Requires nonempty histogram.
+  [[nodiscard]] std::size_t mode_bin() const;
+
+  /// ASCII rendering for reports, one line per bin.
+  [[nodiscard]] std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace sinet::stats

@@ -1,0 +1,56 @@
+#include "stats/regression.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace sinet::stats {
+
+LinearFit fit_line(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("fit_line: size mismatch");
+  if (x.size() < 2) throw std::invalid_argument("fit_line: need >= 2 points");
+
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0)
+    throw std::invalid_argument("fit_line: x values are all equal");
+
+  LinearFit fit;
+  fit.n = x.size();
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+double fit_path_loss_exponent(std::span<const double> distance_km,
+                              std::span<const double> rssi_dbm) {
+  if (distance_km.size() != rssi_dbm.size())
+    throw std::invalid_argument("fit_path_loss_exponent: size mismatch");
+  std::vector<double> log_d;
+  log_d.reserve(distance_km.size());
+  for (const double d : distance_km) {
+    if (d <= 0.0)
+      throw std::invalid_argument(
+          "fit_path_loss_exponent: nonpositive distance");
+    log_d.push_back(std::log10(d));
+  }
+  const LinearFit fit = fit_line(log_d, rssi_dbm);
+  return -fit.slope / 10.0;
+}
+
+}  // namespace sinet::stats

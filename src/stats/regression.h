@@ -1,0 +1,31 @@
+// Ordinary least-squares line fit, used by the analysis pipeline to
+// extract physical parameters from traces (e.g. the path-loss exponent
+// behind Fig 3c: RSSI ~ a - 10 n log10(distance)).
+#pragma once
+
+#include <span>
+
+namespace sinet::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;
+
+  [[nodiscard]] double predict(double x) const {
+    return intercept + slope * x;
+  }
+};
+
+/// OLS fit of y = intercept + slope * x. Requires at least two distinct
+/// x values; throws std::invalid_argument otherwise.
+[[nodiscard]] LinearFit fit_line(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// Path-loss exponent n from (distance_km, rssi_dbm) pairs, fitting
+/// rssi = a - 10 n log10(d). Free space gives n = 2.
+[[nodiscard]] double fit_path_loss_exponent(
+    std::span<const double> distance_km, std::span<const double> rssi_dbm);
+
+}  // namespace sinet::stats

@@ -1,0 +1,16 @@
+#include "trace/packet_trace.h"
+
+namespace sinet::trace {
+
+std::vector<BeaconRecord> BeaconTraceSet::filter(
+    const std::string& station, const std::string& constellation) const {
+  std::vector<BeaconRecord> out;
+  for (const BeaconRecord& r : records_) {
+    if (!station.empty() && r.station != station) continue;
+    if (!constellation.empty() && r.constellation != constellation) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace sinet::trace

@@ -1,0 +1,114 @@
+// Ground-track computation and latitude-coverage analytics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/availability.h"
+#include "orbit/ground_track.h"
+#include "orbit/passes.h"
+#include "orbit/tle.h"
+
+namespace {
+
+using namespace sinet::orbit;
+
+Tle tle_for(double alt, double incl) {
+  KeplerianElements kep;
+  kep.altitude_km = alt;
+  kep.inclination_deg = incl;
+  kep.eccentricity = 0.0005;
+  return make_tle("GT", 93000, kep, julian_from_civil(2025, 3, 1));
+}
+
+TEST(GroundTrack, SamplesAtRequestedCadence) {
+  const Tle tle = tle_for(550.0, 97.6);
+  const Sgp4 prop(tle);
+  const auto track =
+      ground_track(prop, tle.epoch_jd, tle.epoch_jd + 0.1, 60.0);
+  // 0.1 day = 8640 s -> 145 samples at 60 s.
+  EXPECT_GE(track.size(), 144u);
+  EXPECT_LE(track.size(), 146u);
+  for (const auto& p : track) {
+    EXPECT_GE(p.subsatellite.latitude_deg, -90.0);
+    EXPECT_LE(p.subsatellite.latitude_deg, 90.0);
+    // Geodetic altitude varies with latitude on a near-circular orbit:
+    // Earth's flattening alone contributes ~21 km pole-to-equator.
+    EXPECT_NEAR(p.subsatellite.altitude_km, 550.0, 35.0);
+    EXPECT_NEAR(p.speed_km_s, 7.58, 0.1);
+  }
+}
+
+TEST(GroundTrack, InvalidArgumentsThrow) {
+  const Tle tle = tle_for(550.0, 97.6);
+  const Sgp4 prop(tle);
+  EXPECT_THROW(ground_track(prop, tle.epoch_jd, tle.epoch_jd + 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(ground_track(prop, tle.epoch_jd, tle.epoch_jd - 1.0, 30.0),
+               std::invalid_argument);
+}
+
+TEST(GroundTrack, MaxLatitudeTracksInclination) {
+  for (const double incl : {35.0, 49.97, 97.61}) {
+    const Tle tle = tle_for(700.0, incl);
+    const Sgp4 prop(tle);
+    const auto track =
+        ground_track(prop, tle.epoch_jd, tle.epoch_jd + 0.3, 30.0);
+    const double expect = incl <= 90.0 ? incl : 180.0 - incl;
+    EXPECT_NEAR(max_track_latitude_deg(track), expect, 1.0) << incl;
+  }
+}
+
+TEST(GroundTrack, NodalDriftIsWestward) {
+  // Earth rotates under the orbit: successive ascending nodes shift
+  // westward by roughly 360 * T_orbit / T_day (~24 deg for a 96-min LEO).
+  const Tle tle = tle_for(550.0, 97.6);
+  const Sgp4 prop(tle);
+  const auto track =
+      ground_track(prop, tle.epoch_jd, tle.epoch_jd + 0.5, 30.0);
+  const double drift = nodal_drift_deg_per_orbit(track);
+  EXPECT_LT(drift, -20.0);
+  EXPECT_GT(drift, -28.0);
+}
+
+TEST(GroundTrack, NoDriftWithoutCrossings) {
+  const Tle tle = tle_for(550.0, 97.6);
+  const Sgp4 prop(tle);
+  // A 5-minute slice has at most one crossing.
+  const auto track = ground_track(prop, tle.epoch_jd,
+                                  tle.epoch_jd + 5.0 / 1440.0, 30.0);
+  EXPECT_DOUBLE_EQ(nodal_drift_deg_per_orbit(track), 0.0);
+}
+
+TEST(GroundTrack, ObserverAtSubsatellitePointSeesZenith) {
+  // Cross-module consistency: put an observer exactly at the nadir point
+  // and the look angles must report the satellite (nearly) overhead at a
+  // range equal to its altitude.
+  const Tle tle = tle_for(700.0, 49.97);
+  const Sgp4 prop(tle);
+  const auto track =
+      ground_track(prop, tle.epoch_jd, tle.epoch_jd + 0.05, 120.0);
+  for (const auto& p : track) {
+    Geodetic observer = p.subsatellite;
+    observer.altitude_km = 0.0;
+    const auto sample = sample_geometry(prop, observer, p.jd);
+    EXPECT_GT(sample.look.elevation_deg, 89.0);
+    EXPECT_NEAR(sample.look.range_km, p.subsatellite.altitude_km, 2.0);
+  }
+}
+
+TEST(PresenceByLatitude, InclinationLimitsCoverage) {
+  // Tianqi's main shell is inclined 49.97 deg: coverage must collapse
+  // toward the poles but hold at low/mid latitudes.
+  const auto spec = sinet::orbit::paper_constellation("Tianqi");
+  sinet::core::AvailabilityOptions opts;
+  opts.duration_days = 1.0;
+  const auto hours = sinet::core::presence_by_latitude(
+      spec, {0.0, 25.0, 45.0, 75.0}, julian_from_civil(2025, 3, 1), opts);
+  ASSERT_EQ(hours.size(), 4u);
+  EXPECT_GT(hours[1], 2.0);   // mid latitudes well served
+  EXPECT_GT(hours[2], hours[3]);  // polar coverage collapses
+  // Only the 2 SSO satellites serve 75N: sparse.
+  EXPECT_LT(hours[3], hours[1]);
+}
+
+}  // namespace

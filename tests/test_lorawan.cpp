@@ -1,0 +1,101 @@
+// Terrestrial LoRaWAN baseline tests (paper Sec 3.2 comparison arm).
+#include <gtest/gtest.h>
+
+#include "net/lorawan.h"
+
+namespace {
+
+using namespace sinet::net;
+
+TEST(Lorawan, UplinkPerIsTiny) {
+  // A gateway 2 km away leaves tens of dB of margin: PER ~ residual.
+  const LorawanConfig cfg;
+  const double per = terrestrial_uplink_per(cfg);
+  EXPECT_GT(per, 0.0);
+  EXPECT_LT(per, 0.01);
+}
+
+TEST(Lorawan, ReliabilityNearlyPerfect) {
+  LorawanConfig cfg;
+  cfg.duration_days = 10.0;
+  const LorawanResult res = run_lorawan(cfg);
+  // Paper Fig 5a: terrestrial LoRaWAN achieves ~100%.
+  EXPECT_GT(res.delivered_fraction(), 0.99);
+}
+
+TEST(Lorawan, GeneratesExpectedReportCount) {
+  LorawanConfig cfg;
+  cfg.node_count = 3;
+  cfg.duration_days = 2.0;
+  cfg.report_interval_s = 1800.0;
+  const LorawanResult res = run_lorawan(cfg);
+  // 3 nodes x 96 reports (staggered phases may shave one per node).
+  EXPECT_GE(res.uplinks.size(), 3u * 95u);
+  EXPECT_LE(res.uplinks.size(), 3u * 97u);
+}
+
+TEST(Lorawan, LatencyIsSubMinute) {
+  LorawanConfig cfg;
+  cfg.duration_days = 5.0;
+  const LorawanResult res = run_lorawan(cfg);
+  // Paper Fig 5c: terrestrial latency ~0.2 min on average.
+  EXPECT_LT(res.mean_latency_s(), 60.0);
+  EXPECT_GT(res.mean_latency_s(), 0.0);
+}
+
+TEST(Lorawan, RetransmissionsImproveReliability) {
+  LorawanConfig no_arq, arq;
+  no_arq.duration_days = arq.duration_days = 10.0;
+  no_arq.gateway_distance_km = arq.gateway_distance_km = 9.0;  // weak link
+  no_arq.max_retransmissions = 0;
+  arq.max_retransmissions = 5;
+  const double r0 = run_lorawan(no_arq).delivered_fraction();
+  const double r5 = run_lorawan(arq).delivered_fraction();
+  EXPECT_GE(r5, r0);
+}
+
+TEST(Lorawan, EnergyResidencyDominatedBySleep) {
+  LorawanConfig cfg;
+  cfg.duration_days = 3.0;
+  const LorawanResult res = run_lorawan(cfg);
+  ASSERT_EQ(res.node_residency.size(), 3u);
+  for (const auto& r : res.node_residency) {
+    EXPECT_GT(r.time_fraction(sinet::energy::Mode::kSleep), 0.9);
+    EXPECT_GT(r.seconds_in(sinet::energy::Mode::kTx), 0.0);
+  }
+}
+
+TEST(Lorawan, DeterministicForSeed) {
+  LorawanConfig cfg;
+  cfg.duration_days = 2.0;
+  const LorawanResult a = run_lorawan(cfg);
+  const LorawanResult b = run_lorawan(cfg);
+  ASSERT_EQ(a.uplinks.size(), b.uplinks.size());
+  for (std::size_t i = 0; i < a.uplinks.size(); ++i) {
+    EXPECT_EQ(a.uplinks[i].delivered, b.uplinks[i].delivered);
+    EXPECT_DOUBLE_EQ(a.uplinks[i].server_rx_unix_s,
+                     b.uplinks[i].server_rx_unix_s);
+  }
+}
+
+TEST(Lorawan, InvalidConfigThrows) {
+  LorawanConfig bad;
+  bad.node_count = 0;
+  EXPECT_THROW(run_lorawan(bad), std::invalid_argument);
+  LorawanConfig bad2;
+  bad2.duration_days = 0.0;
+  EXPECT_THROW(run_lorawan(bad2), std::invalid_argument);
+  LorawanConfig bad3;
+  bad3.report_interval_s = -1.0;
+  EXPECT_THROW(run_lorawan(bad3), std::invalid_argument);
+}
+
+TEST(Lorawan, FartherGatewayRaisesPer) {
+  LorawanConfig near_cfg, far_cfg;
+  near_cfg.gateway_distance_km = 1.0;
+  far_cfg.gateway_distance_km = 12.0;
+  EXPECT_LT(terrestrial_uplink_per(near_cfg),
+            terrestrial_uplink_per(far_cfg));
+}
+
+}  // namespace

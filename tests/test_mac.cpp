@@ -1,0 +1,101 @@
+// MAC collision / capture model tests (paper Fig 12b substrate).
+#include <gtest/gtest.h>
+
+#include "net/mac.h"
+
+namespace {
+
+using namespace sinet::net;
+
+Transmission tx(std::uint64_t id, double start, double end, double rssi) {
+  return Transmission{id, start, end, rssi};
+}
+
+TEST(Overlap, BoundaryCases) {
+  const Transmission a = tx(1, 0.0, 1.0, -100.0);
+  EXPECT_TRUE(a.overlaps(tx(2, 0.5, 1.5, -100.0)));
+  EXPECT_TRUE(a.overlaps(tx(2, -0.5, 0.1, -100.0)));
+  EXPECT_TRUE(a.overlaps(tx(2, 0.2, 0.8, -100.0)));  // contained
+  // Touching endpoints do not overlap (half-open semantics).
+  EXPECT_FALSE(a.overlaps(tx(2, 1.0, 2.0, -100.0)));
+  EXPECT_FALSE(a.overlaps(tx(2, -1.0, 0.0, -100.0)));
+}
+
+TEST(Collisions, NonOverlappingAllSurvive) {
+  const std::vector<Transmission> txs = {
+      tx(1, 0.0, 1.0, -120.0), tx(2, 1.5, 2.5, -120.0),
+      tx(3, 3.0, 4.0, -120.0)};
+  EXPECT_EQ(resolve_collisions(txs).size(), 3u);
+}
+
+TEST(Collisions, EqualPowerOverlapKillsBoth) {
+  const std::vector<Transmission> txs = {tx(1, 0.0, 1.0, -120.0),
+                                         tx(2, 0.5, 1.5, -120.0)};
+  EXPECT_TRUE(resolve_collisions(txs).empty());
+}
+
+TEST(Collisions, CaptureStrongerSurvives) {
+  const std::vector<Transmission> txs = {tx(1, 0.0, 1.0, -110.0),
+                                         tx(2, 0.5, 1.5, -120.0)};
+  const auto winners = resolve_collisions(txs);
+  ASSERT_EQ(winners.size(), 1u);
+  EXPECT_EQ(winners[0], 1u);
+}
+
+TEST(Collisions, CaptureThresholdIsStrict) {
+  MacConfig cfg;
+  cfg.capture_threshold_db = 6.0;
+  // 5.9 dB gap: below threshold, both lost.
+  const std::vector<Transmission> close = {tx(1, 0.0, 1.0, -110.0),
+                                           tx(2, 0.5, 1.5, -115.9)};
+  EXPECT_TRUE(resolve_collisions(close, cfg).empty());
+  // 6.1 dB gap: stronger captures.
+  const std::vector<Transmission> apart = {tx(1, 0.0, 1.0, -110.0),
+                                           tx(2, 0.5, 1.5, -116.1)};
+  EXPECT_EQ(resolve_collisions(apart, cfg).size(), 1u);
+}
+
+TEST(Collisions, ThreeWayPileUp) {
+  // Strongest is 6+ dB above both others: only it survives.
+  const std::vector<Transmission> txs = {tx(1, 0.0, 1.0, -105.0),
+                                         tx(2, 0.2, 1.2, -112.0),
+                                         tx(3, 0.4, 1.4, -113.0)};
+  const auto winners = resolve_collisions(txs);
+  ASSERT_EQ(winners.size(), 1u);
+  EXPECT_EQ(winners[0], 1u);
+}
+
+TEST(Collisions, ChainOverlapIsPairwise) {
+  // A overlaps B, B overlaps C, but A and C are disjoint; B is the
+  // weakest. A and C must both survive if they clear B by the threshold.
+  const std::vector<Transmission> txs = {tx(1, 0.0, 1.0, -105.0),
+                                         tx(2, 0.9, 1.9, -120.0),
+                                         tx(3, 1.8, 2.8, -105.0)};
+  const auto winners = resolve_collisions(txs);
+  ASSERT_EQ(winners.size(), 2u);
+  EXPECT_EQ(winners[0], 1u);
+  EXPECT_EQ(winners[1], 3u);
+}
+
+TEST(Collisions, SurvivesIgnoresSelf) {
+  const Transmission me = tx(7, 0.0, 1.0, -120.0);
+  EXPECT_TRUE(survives_collisions(me, {me}));
+  EXPECT_TRUE(survives_collisions(me, {}));
+}
+
+TEST(Collisions, EmptyInput) {
+  EXPECT_TRUE(resolve_collisions({}).empty());
+}
+
+TEST(Collisions, CustomThresholdZeroMeansTieGoesToStronger) {
+  MacConfig cfg;
+  cfg.capture_threshold_db = 0.0;
+  const std::vector<Transmission> txs = {tx(1, 0.0, 1.0, -119.9),
+                                         tx(2, 0.5, 1.5, -120.0)};
+  const auto winners = resolve_collisions(txs, cfg);
+  // tx1 is stronger by 0.1 dB >= 0 dB threshold: survives; tx2 does not.
+  ASSERT_EQ(winners.size(), 1u);
+  EXPECT_EQ(winners[0], 1u);
+}
+
+}  // namespace

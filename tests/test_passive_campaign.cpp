@@ -1,0 +1,134 @@
+// Passive measurement campaign integration tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/passive_campaign.h"
+
+namespace {
+
+using namespace sinet::core;
+
+PassiveCampaignConfig tiny_campaign() {
+  PassiveCampaignConfig cfg = default_campaign(1.0);
+  // One site, two constellations: keeps the test fast.
+  cfg.sites = {paper_site("HK")};
+  cfg.constellations = {sinet::orbit::paper_constellation("FOSSA"),
+                        sinet::orbit::paper_constellation("Tianqi")};
+  return cfg;
+}
+
+const PassiveCampaignResult& shared_campaign() {
+  static const PassiveCampaignResult result =
+      run_passive_campaign(tiny_campaign());
+  return result;
+}
+
+TEST(PassiveCampaign, ProducesTraces) {
+  const auto& res = shared_campaign();
+  EXPECT_GT(res.traces.size(), 100u);
+  EXPECT_GT(res.beacons_transmitted, res.beacons_received);
+  EXPECT_EQ(res.traces.size(), res.beacons_received);
+}
+
+TEST(PassiveCampaign, TraceFieldsPlausible) {
+  const auto& res = shared_campaign();
+  for (const auto& r : res.traces.records()) {
+    EXPECT_TRUE(r.constellation == "FOSSA" || r.constellation == "Tianqi");
+    EXPECT_EQ(r.station.rfind("HK-", 0), 0u);
+    // Paper Fig 3b: RSSI of received beacons between about -140 and -105.
+    EXPECT_GT(r.rssi_dbm, -145.0);
+    EXPECT_LT(r.rssi_dbm, -95.0);
+    EXPECT_GE(r.elevation_deg, 0.0);
+    EXPECT_LE(r.elevation_deg, 90.0);
+    EXPECT_GT(r.range_km, 400.0);
+    EXPECT_LT(r.range_km, 3600.0);
+    EXPECT_LT(std::abs(r.doppler_hz), 12000.0);  // < ~30 ppm at 400 MHz
+    EXPECT_TRUE(r.weather == "sunny" || r.weather == "rainy");
+  }
+}
+
+TEST(PassiveCampaign, TheoreticalWindowsPopulated) {
+  const auto& res = shared_campaign();
+  const auto fossa = res.cell_windows({"HK", "FOSSA"});
+  const auto tianqi = res.cell_windows({"HK", "Tianqi"});
+  EXPECT_GT(fossa.size(), 3u);   // 3 sats, several passes each per day
+  EXPECT_GT(tianqi.size(), 30u); // 22 sats
+  EXPECT_TRUE(res.cell_windows({"HK", "Nonexistent"}).empty());
+}
+
+TEST(PassiveCampaign, TianqiSeesFartherThanFossa) {
+  // Tianqi orbits ~860 km: its receptions span longer slant ranges
+  // (paper Fig 8: 1,100-3,500 km vs 600-2,000 km).
+  const auto& res = shared_campaign();
+  double tianqi_max = 0.0, fossa_max = 0.0;
+  for (const auto& r : res.traces.records()) {
+    if (r.constellation == "Tianqi")
+      tianqi_max = std::max(tianqi_max, r.range_km);
+    else
+      fossa_max = std::max(fossa_max, r.range_km);
+  }
+  EXPECT_GT(tianqi_max, fossa_max);
+}
+
+TEST(PassiveCampaign, StationAssignmentRoundRobins) {
+  PassiveCampaignConfig cfg = tiny_campaign();
+  const auto res = run_passive_campaign(cfg);
+  std::set<std::string> stations;
+  for (const auto& r : res.traces.records()) stations.insert(r.station);
+  // HK has 6 stations; round-robin should touch most of them.
+  EXPECT_GE(stations.size(), 4u);
+}
+
+TEST(PassiveCampaign, DeterministicForSeed) {
+  const auto a = run_passive_campaign(tiny_campaign());
+  const auto b = run_passive_campaign(tiny_campaign());
+  EXPECT_EQ(a.traces.size(), b.traces.size());
+  EXPECT_EQ(a.beacons_transmitted, b.beacons_transmitted);
+}
+
+TEST(PassiveCampaign, ConfigValidation) {
+  PassiveCampaignConfig cfg = tiny_campaign();
+  cfg.sites.clear();
+  EXPECT_THROW(run_passive_campaign(cfg), std::invalid_argument);
+  PassiveCampaignConfig cfg2 = tiny_campaign();
+  cfg2.constellations.clear();
+  EXPECT_THROW(run_passive_campaign(cfg2), std::invalid_argument);
+  PassiveCampaignConfig cfg3 = tiny_campaign();
+  cfg3.duration_days = -1.0;
+  EXPECT_THROW(run_passive_campaign(cfg3), std::invalid_argument);
+}
+
+TEST(PassiveCampaign, QuieterSiteLogsMoreTraces) {
+  // YC (rural highland, low man-made noise) should out-collect a dense
+  // city with the same constellation — the Table 1 pattern.
+  PassiveCampaignConfig cfg = default_campaign(1.0);
+  MeasurementSite quiet = paper_site("YC");
+  MeasurementSite noisy = paper_site("LDN");
+  // Equalize geometry factors other than noise by co-locating them.
+  noisy.location = quiet.location;
+  quiet.code = "QQ";
+  noisy.code = "NN";
+  cfg.sites = {quiet, noisy};
+  cfg.constellations = {sinet::orbit::paper_constellation("Tianqi")};
+  const auto res = run_passive_campaign(cfg);
+  std::size_t quiet_n = 0, noisy_n = 0;
+  for (const auto& r : res.traces.records()) {
+    if (r.station.rfind("QQ-", 0) == 0) ++quiet_n;
+    if (r.station.rfind("NN-", 0) == 0) ++noisy_n;
+  }
+  EXPECT_GT(quiet_n, noisy_n);
+}
+
+TEST(Scenario, EightSitesTwentySevenStations) {
+  const auto sites = paper_measurement_sites();
+  ASSERT_EQ(sites.size(), 8u);  // Table 1
+  int stations = 0;
+  for (const auto& s : sites) stations += s.station_count;
+  EXPECT_EQ(stations, 27);  // paper: 27 ground stations
+  EXPECT_THROW(paper_site("XYZ"), std::invalid_argument);
+  EXPECT_EQ(paper_site("HK").station_count, 6);
+  EXPECT_EQ(availability_sites().size(), 4u);
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Parameterized property tests: invariants swept across parameter spaces
+// (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/path_loss.h"
+#include "orbit/constellation.h"
+#include "orbit/geodetic.h"
+#include "orbit/sgp4.h"
+#include "orbit/time.h"
+#include "phy/error_model.h"
+#include "phy/lora.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace sinet;
+
+// ---------------------------------------------------------------------
+// SGP4 invariants across the whole (altitude, inclination) envelope of
+// the paper's constellations.
+struct OrbitCase {
+  double altitude_km;
+  double inclination_deg;
+};
+
+class Sgp4Property : public ::testing::TestWithParam<OrbitCase> {};
+
+TEST_P(Sgp4Property, RadiusAndSpeedPhysical) {
+  const auto [alt, inc] = GetParam();
+  orbit::KeplerianElements kep;
+  kep.altitude_km = alt;
+  kep.inclination_deg = inc;
+  kep.eccentricity = 0.001;
+  const orbit::Tle tle = orbit::make_tle(
+      "P", 95000, kep, orbit::julian_from_civil(2025, 3, 1));
+  const orbit::Sgp4 prop(tle);
+  for (double t = 0.0; t <= 720.0; t += 47.0) {
+    const auto st = prop.at(t);
+    const double r = st.position_km.norm();
+    EXPECT_NEAR(r, 6378.0 + alt, 25.0) << "alt=" << alt << " t=" << t;
+    const double v = st.velocity_km_s.norm();
+    const double v_circ = std::sqrt(orbit::kMuEarthKm3PerS2 / r);
+    EXPECT_NEAR(v, v_circ, 0.05);
+  }
+}
+
+TEST_P(Sgp4Property, LatitudeBoundedByInclination) {
+  const auto [alt, inc] = GetParam();
+  orbit::KeplerianElements kep;
+  kep.altitude_km = alt;
+  kep.inclination_deg = inc;
+  const orbit::Tle tle = orbit::make_tle(
+      "P", 95001, kep, orbit::julian_from_civil(2025, 3, 1));
+  const orbit::Sgp4 prop(tle);
+  const double max_lat = inc <= 90.0 ? inc : 180.0 - inc;
+  for (double t = 0.0; t <= 200.0; t += 3.0) {
+    const auto st = prop.at(t);
+    const double lat =
+        std::asin(st.position_km.z / st.position_km.norm()) *
+        orbit::kRadToDeg;
+    EXPECT_LE(std::abs(lat), max_lat + 0.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperOrbitEnvelope, Sgp4Property,
+    ::testing::Values(OrbitCase{441.9, 97.61}, OrbitCase{493.0, 97.61},
+                      OrbitCase{508.7, 97.36}, OrbitCase{522.1, 97.72},
+                      OrbitCase{544.0, 35.0}, OrbitCase{556.9, 35.0},
+                      OrbitCase{815.7, 49.97}, OrbitCase{897.5, 49.97},
+                      OrbitCase{700.0, 0.5}, OrbitCase{700.0, 179.0}));
+
+// ---------------------------------------------------------------------
+// PER monotonicity in SNR for every spreading factor / payload size.
+struct PerCase {
+  phy::SpreadingFactor sf;
+  int payload;
+};
+
+class PerProperty : public ::testing::TestWithParam<PerCase> {};
+
+TEST_P(PerProperty, MonotoneNonIncreasingInSnr) {
+  const auto [sf, payload] = GetParam();
+  const phy::ErrorModel model;
+  phy::LoraParams p;
+  p.sf = sf;
+  double prev = 1.0 + 1e-12;
+  for (double snr = -35.0; snr <= 15.0; snr += 0.25) {
+    const double per = model.packet_error_probability(snr, p, payload);
+    EXPECT_LE(per, prev + 1e-12);
+    EXPECT_GE(per, 0.0);
+    EXPECT_LE(per, 1.0);
+    prev = per;
+  }
+}
+
+TEST_P(PerProperty, ThresholdSeparatesRegimes) {
+  const auto [sf, payload] = GetParam();
+  const phy::ErrorModel model;
+  phy::LoraParams p;
+  p.sf = sf;
+  const double thr = phy::demod_snr_threshold_db(sf);
+  EXPECT_GT(model.packet_error_probability(thr - 8.0, p, payload), 0.9);
+  EXPECT_LT(model.packet_error_probability(thr + 8.0, p, payload), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSfPayloads, PerProperty,
+    ::testing::Values(PerCase{phy::SpreadingFactor::kSf7, 10},
+                      PerCase{phy::SpreadingFactor::kSf7, 120},
+                      PerCase{phy::SpreadingFactor::kSf8, 20},
+                      PerCase{phy::SpreadingFactor::kSf9, 60},
+                      PerCase{phy::SpreadingFactor::kSf10, 20},
+                      PerCase{phy::SpreadingFactor::kSf10, 120},
+                      PerCase{phy::SpreadingFactor::kSf11, 60},
+                      PerCase{phy::SpreadingFactor::kSf12, 10},
+                      PerCase{phy::SpreadingFactor::kSf12, 120}));
+
+// ---------------------------------------------------------------------
+// Time-on-air grows with payload for every SF (sweep).
+class ToaProperty
+    : public ::testing::TestWithParam<phy::SpreadingFactor> {};
+
+TEST_P(ToaProperty, NonDecreasingInPayload) {
+  phy::LoraParams p;
+  p.sf = GetParam();
+  double prev = 0.0;
+  for (int bytes = 0; bytes <= 255; ++bytes) {
+    const double t = phy::time_on_air_s(p, bytes);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST_P(ToaProperty, StrongerCodingIsSlower) {
+  phy::LoraParams p5, p8;
+  p5.sf = p8.sf = GetParam();
+  p5.cr = phy::CodingRate::k4_5;
+  p8.cr = phy::CodingRate::k4_8;
+  EXPECT_LT(phy::time_on_air_s(p5, 100), phy::time_on_air_s(p8, 100));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSfs, ToaProperty,
+    ::testing::Values(phy::SpreadingFactor::kSf7, phy::SpreadingFactor::kSf8,
+                      phy::SpreadingFactor::kSf9,
+                      phy::SpreadingFactor::kSf10,
+                      phy::SpreadingFactor::kSf11,
+                      phy::SpreadingFactor::kSf12));
+
+// ---------------------------------------------------------------------
+// Geodetic round trip across a lat/lon grid.
+struct GeoCase {
+  double lat;
+  double lon;
+  double alt;
+};
+
+class GeodeticProperty : public ::testing::TestWithParam<GeoCase> {};
+
+TEST_P(GeodeticProperty, RoundTripExact) {
+  const auto [lat, lon, alt] = GetParam();
+  const orbit::Geodetic g{lat, lon, alt};
+  const auto back = orbit::ecef_to_geodetic(orbit::geodetic_to_ecef(g));
+  EXPECT_NEAR(back.latitude_deg, lat, 1e-6);
+  EXPECT_NEAR(back.longitude_deg, lon, 1e-6);
+  EXPECT_NEAR(back.altitude_km, alt, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeodeticProperty,
+    ::testing::Values(GeoCase{-75.0, -170.0, 0.0}, GeoCase{-45.0, -90.0, 2.0},
+                      GeoCase{-15.0, -10.0, 0.5}, GeoCase{0.0, 0.0, 0.0},
+                      GeoCase{15.0, 60.0, 1.0}, GeoCase{45.0, 120.0, 0.2},
+                      GeoCase{75.0, 179.0, 3.0}, GeoCase{33.0, -118.0, 0.1}));
+
+// ---------------------------------------------------------------------
+// Path loss monotone in distance and frequency across sweeps.
+class PathLossProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PathLossProperty, MonotoneInDistance) {
+  const double freq = GetParam();
+  double prev = 0.0;
+  for (double d = 100.0; d <= 4000.0; d += 100.0) {
+    const double pl = channel::free_space_path_loss_db(d, freq);
+    EXPECT_GT(pl, prev);
+    prev = pl;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UhfBand, PathLossProperty,
+                         ::testing::Values(137e6, 400.45e6, 401.7e6,
+                                           436.26e6, 437.985e6, 868e6));
+
+// ---------------------------------------------------------------------
+// Footprint and slant-range consistency across elevations: a node at the
+// edge of the footprint sees the satellite at exactly the mask elevation.
+class FootprintProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(FootprintProperty, CapRadiusConsistentWithSlantRange) {
+  const double alt = GetParam();
+  for (double mask = 0.0; mask <= 30.0; mask += 10.0) {
+    const double area = orbit::footprint_area_km2(alt, mask);
+    // Invert the cap area to its angular radius, then check the chord
+    // geometry reproduces the slant range within 1%.
+    const double re = orbit::kEarthMeanRadiusKm;
+    const double cos_lambda = 1.0 - area / (2.0 * M_PI * re * re);
+    const double lambda = std::acos(cos_lambda);
+    const double rs = re + alt;
+    const double chord = std::sqrt(re * re + rs * rs -
+                                   2.0 * re * rs * std::cos(lambda));
+    EXPECT_NEAR(chord, orbit::slant_range_km(alt, mask), chord * 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperAltitudes, FootprintProperty,
+                         ::testing::Values(441.9, 496.0, 510.0, 550.0,
+                                           815.7, 897.5));
+
+}  // namespace

@@ -1,0 +1,83 @@
+// OLS regression and path-loss-exponent fitting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "channel/path_loss.h"
+#include "sim/rng.h"
+#include "stats/regression.h"
+
+namespace {
+
+using namespace sinet::stats;
+
+TEST(FitLine, RecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 - 2.5 * i);
+  }
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, -2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.predict(10.0), 3.0 - 25.0, 1e-12);
+  EXPECT_EQ(fit.n, 20u);
+}
+
+TEST(FitLine, NoisyDataStillCloseWithLowerR2) {
+  sinet::sim::Rng rng(1);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(i * 0.1);
+    y.push_back(1.0 + 0.7 * i * 0.1 + rng.normal(0.0, 1.0));
+  }
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 0.7, 0.05);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.6);
+  EXPECT_GT(fit.r_squared, 0.8);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(FitLine, InvalidInputsThrow) {
+  const std::vector<double> one{1.0};
+  const std::vector<double> two{1.0, 2.0};
+  const std::vector<double> same{3.0, 3.0};
+  EXPECT_THROW(fit_line(one, one), std::invalid_argument);
+  EXPECT_THROW(fit_line(one, two), std::invalid_argument);
+  EXPECT_THROW(fit_line(same, two), std::invalid_argument);
+}
+
+TEST(PathLossExponent, FreeSpaceGivesTwo) {
+  // Synthesize pure free-space RSSI samples: exponent must come out 2.
+  std::vector<double> d, rssi;
+  for (double km = 400.0; km <= 3000.0; km += 100.0) {
+    d.push_back(km);
+    rssi.push_back(20.0 - sinet::channel::free_space_path_loss_db(km, 433e6));
+  }
+  EXPECT_NEAR(fit_path_loss_exponent(d, rssi), 2.0, 1e-9);
+}
+
+TEST(PathLossExponent, RobustToShadowingNoise) {
+  sinet::sim::Rng rng(2);
+  std::vector<double> d, rssi;
+  for (int i = 0; i < 2000; ++i) {
+    const double km = rng.uniform(500.0, 3000.0);
+    d.push_back(km);
+    rssi.push_back(20.0 -
+                   sinet::channel::free_space_path_loss_db(km, 433e6) +
+                   rng.normal(0.0, 3.0));
+  }
+  EXPECT_NEAR(fit_path_loss_exponent(d, rssi), 2.0, 0.15);
+}
+
+TEST(PathLossExponent, InvalidDistanceThrows) {
+  const std::vector<double> d{1.0, 0.0};
+  const std::vector<double> r{-100.0, -101.0};
+  EXPECT_THROW(fit_path_loss_exponent(d, r), std::invalid_argument);
+  const std::vector<double> d2{1.0};
+  EXPECT_THROW(fit_path_loss_exponent(d2, r), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+// Unit tests for the discrete-event engine and RNG streams.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using sinet::sim::EventQueue;
+using sinet::sim::Rng;
+using sinet::sim::RngFactory;
+using sinet::sim::Simulation;
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleInPastThrows) {
+  EventQueue q;
+  q.schedule_at(10.0, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, NullCallbackThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_at(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  const auto h = q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));  // double-cancel is a no-op
+  q.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelUnknownHandle) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(sinet::sim::kInvalidEvent));
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<double> times;
+  for (double t = 1.0; t <= 5.0; t += 1.0)
+    q.schedule_at(t, [&times, &q] { times.push_back(q.now()); });
+  const std::size_t executed = q.run_until(3.0);
+  EXPECT_EQ(executed, 3u);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.pending(), 2u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.run_until(42.0);
+  EXPECT_DOUBLE_EQ(q.now(), 42.0);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.schedule_in(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  q.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, PeekTimeSkipsCancelled) {
+  EventQueue q;
+  const auto h = q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [] {});
+  q.cancel(h);
+  EXPECT_DOUBLE_EQ(q.peek_time(), 2.0);
+}
+
+TEST(EventQueue, PeekTimeEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW((void)q.peek_time(), std::logic_error);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double u = rng.uniform(-5.0, 5.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_THROW((void)rng.uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(7);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanAndErrors) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+  // Out-of-range p is clamped, not thrown.
+  EXPECT_TRUE(rng.chance(2.0));
+  EXPECT_FALSE(rng.chance(-1.0));
+}
+
+TEST(Rng, RicianMeanPowerIsUnity) {
+  Rng rng(13);
+  double power = 0.0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.rician_amplitude(10.0);
+    power += a * a;
+  }
+  EXPECT_NEAR(power / n, 1.0, 0.03);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_THROW((void)rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(RngFactory, StreamsAreIndependentAndStable) {
+  RngFactory f(42);
+  Rng a1 = f.make("channel");
+  Rng a2 = f.make("channel");
+  Rng b = f.make("backhaul");
+  EXPECT_DOUBLE_EQ(a1.uniform(), a2.uniform());
+  // Different component names produce different streams.
+  Rng a3 = f.make("channel");
+  EXPECT_NE(a3.uniform(), b.uniform());
+}
+
+TEST(RngFactory, DifferentRootSeedsDiffer) {
+  RngFactory f1(1), f2(2);
+  Rng a = f1.make("x");
+  Rng b = f2.make("x");
+  EXPECT_NE(a.uniform(), b.uniform());
+}
+
+TEST(Simulation, NamedStreamsPersist) {
+  Simulation sim(42);
+  const double first = sim.rng("weather").uniform();
+  const double second = sim.rng("weather").uniform();
+  EXPECT_NE(first, second);  // same stream advances
+
+  Simulation sim2(42);
+  EXPECT_DOUBLE_EQ(sim2.rng("weather").uniform(), first);
+}
+
+TEST(Simulation, UnixNowTracksEpoch) {
+  Simulation sim(1, 1'000'000.0);
+  sim.in(100.0, [] {});
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(sim.unix_now(), 1'000'100.0);
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+// Unit tests for sinet::stats (descriptive, CDF, histogram).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/cdf.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+
+namespace {
+
+using sinet::stats::EmpiricalCdf;
+using sinet::stats::Histogram;
+using sinet::stats::StreamingStats;
+
+TEST(StreamingStats, EmptyStateIsWellDefined) {
+  StreamingStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.variance()));
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(StreamingStats, SingleSample) {
+  StreamingStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_TRUE(std::isnan(s.variance()));
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(StreamingStats, MeanVarianceMatchTextbook) {
+  StreamingStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance is 4; sample variance = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeEqualsSequential) {
+  StreamingStats a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.37) * 10.0 + i * 0.01;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmptyIsNoop) {
+  StreamingStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  StreamingStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(StreamingStats, SummarizeEmptyGivesZeros) {
+  const auto s = sinet::stats::summarize(StreamingStats{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(StreamingStats, ToStringContainsFields) {
+  StreamingStats s;
+  s.add(1.0);
+  s.add(2.0);
+  const std::string str = sinet::stats::to_string(sinet::stats::summarize(s));
+  EXPECT_NE(str.find("n=2"), std::string::npos);
+  EXPECT_NE(str.find("mean=1.5"), std::string::npos);
+}
+
+TEST(EmpiricalCdf, QuantilesOfKnownSamples) {
+  EmpiricalCdf cdf{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.125), 1.5);  // interpolated
+}
+
+TEST(EmpiricalCdf, QuantileErrors) {
+  EmpiricalCdf empty;
+  EXPECT_THROW((void)empty.quantile(0.5), std::out_of_range);
+  EmpiricalCdf one{1.0};
+  EXPECT_THROW((void)one.quantile(-0.1), std::out_of_range);
+  EXPECT_THROW((void)one.quantile(1.1), std::out_of_range);
+  EXPECT_DOUBLE_EQ(one.quantile(0.7), 1.0);
+}
+
+TEST(EmpiricalCdf, FractionAtOrBelow) {
+  EmpiricalCdf cdf{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(10.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(25.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(EmpiricalCdf{}.fraction_at_or_below(0.0), 0.0);
+}
+
+TEST(EmpiricalCdf, FractionBetween) {
+  EmpiricalCdf cdf{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(cdf.fraction_between(2.0, 4.0), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.fraction_between(4.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_between(-1.0, 10.0), 1.0);
+}
+
+TEST(EmpiricalCdf, AddAfterQueryResorts) {
+  EmpiricalCdf cdf{5.0, 1.0};
+  EXPECT_DOUBLE_EQ(cdf.median(), 3.0);
+  cdf.add(0.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 1.0);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotonic) {
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 50; ++i) cdf.add(std::cos(i * 1.7) * 100.0);
+  const auto curve = cdf.curve(21);
+  ASSERT_EQ(curve.size(), 21u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LT(curve[i - 1].second, curve[i].second);
+  }
+}
+
+TEST(EmpiricalCdf, CurveEmptyOrDegenerate) {
+  EXPECT_TRUE(EmpiricalCdf{}.curve().empty());
+  EmpiricalCdf one{3.0};
+  EXPECT_TRUE(one.curve(1).empty());
+}
+
+TEST(EmpiricalCdf, DescribeMentionsCount) {
+  EmpiricalCdf cdf{1.0, 2.0};
+  EXPECT_NE(cdf.describe().find("n=2"), std::string::npos);
+  EXPECT_EQ(EmpiricalCdf{}.describe(), "empty");
+}
+
+TEST(Histogram, BinPlacement) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);
+  h.add(0.999);
+  h.add(5.0);
+  h.add(9.999);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(5), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.5);
+  h.add(1.0);  // hi edge is exclusive
+  h.add(2.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, WeightsAndFractions) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5, 3.0);
+  h.add(1.5, 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+  EXPECT_EQ(h.mode_bin(), 0u);
+}
+
+TEST(Histogram, EdgesAndCenters) {
+  Histogram h(-1.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_lower_edge(0), -1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 0.75);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RenderProducesOneLinePerBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(0.5);
+  h.add(1.5);
+  const std::string r = h.render(10);
+  EXPECT_EQ(std::count(r.begin(), r.end(), '\n'), 3);
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Trace records and CSV serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/csv.h"
+#include "trace/packet_trace.h"
+
+namespace {
+
+using namespace sinet::trace;
+
+BeaconRecord make_beacon(const std::string& station,
+                         const std::string& constellation, double t) {
+  BeaconRecord r;
+  r.time_unix_s = t;
+  r.station = station;
+  r.constellation = constellation;
+  r.satellite = constellation + "-01";
+  r.rssi_dbm = -120.0;
+  r.snr_db = -5.0;
+  return r;
+}
+
+TEST(BeaconTraceSet, AddAndFilter) {
+  BeaconTraceSet set;
+  set.add(make_beacon("HK-1", "Tianqi", 1.0));
+  set.add(make_beacon("HK-2", "FOSSA", 2.0));
+  set.add(make_beacon("SYD-1", "Tianqi", 3.0));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.filter("HK-1", "").size(), 1u);
+  EXPECT_EQ(set.filter("", "Tianqi").size(), 2u);
+  EXPECT_EQ(set.filter("HK-2", "FOSSA").size(), 1u);
+  EXPECT_EQ(set.filter("HK-2", "Tianqi").size(), 0u);
+  EXPECT_EQ(set.filter("", "").size(), 3u);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(UplinkRecord, TimingDecomposition) {
+  UplinkRecord r;
+  r.generated_unix_s = 100.0;
+  r.first_tx_unix_s = 160.0;
+  r.satellite_rx_unix_s = 170.0;
+  r.server_rx_unix_s = 400.0;
+  r.delivered = true;
+  EXPECT_DOUBLE_EQ(r.wait_for_pass_s(), 60.0);
+  EXPECT_DOUBLE_EQ(r.dts_transfer_s(), 10.0);
+  EXPECT_DOUBLE_EQ(r.delivery_s(), 230.0);
+  EXPECT_DOUBLE_EQ(r.end_to_end_s(), 300.0);
+  // Decomposition sums to end-to-end.
+  EXPECT_DOUBLE_EQ(
+      r.wait_for_pass_s() + r.dts_transfer_s() + r.delivery_s(),
+      r.end_to_end_s());
+}
+
+TEST(UplinkRecord, MissingStagesReportNegative) {
+  UplinkRecord r;
+  r.generated_unix_s = 100.0;
+  EXPECT_LT(r.wait_for_pass_s(), 0.0);
+  EXPECT_LT(r.dts_transfer_s(), 0.0);
+  EXPECT_LT(r.delivery_s(), 0.0);
+  EXPECT_LT(r.end_to_end_s(), 0.0);
+}
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvWriter, BeaconHeaderAndRows) {
+  std::ostringstream os;
+  write_beacon_csv(os, {make_beacon("HK-1", "Tianqi", 1.5)});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("time_unix_s,station,constellation"),
+            std::string::npos);
+  EXPECT_NE(out.find("HK-1,Tianqi,Tianqi-01"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(CsvWriter, UplinkRowContents) {
+  UplinkRecord r;
+  r.sequence = 7;
+  r.node = "TQ-node-1";
+  r.payload_bytes = 20;
+  r.generated_unix_s = 1.0;
+  r.dts_attempts = 3;
+  r.delivered = true;
+  r.via_satellite = "Tianqi-05";
+  std::ostringstream os;
+  write_uplink_csv(os, {r});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("7,TQ-node-1,20,"), std::string::npos);
+  EXPECT_NE(out.find("Tianqi-05"), std::string::npos);
+  EXPECT_NE(out.find(",1,"), std::string::npos);  // delivered flag
+}
+
+TEST(CsvSplit, HandlesQuotedFields) {
+  const auto f = csv_split("a,\"b,c\",\"say \"\"hi\"\"\",d");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b,c");
+  EXPECT_EQ(f[2], "say \"hi\"");
+  EXPECT_EQ(f[3], "d");
+  EXPECT_EQ(csv_split("").size(), 1u);
+  EXPECT_EQ(csv_split(",").size(), 2u);
+}
+
+TEST(CsvReader, BeaconRoundTrip) {
+  std::vector<BeaconRecord> in;
+  in.push_back(make_beacon("HK-1", "Tianqi", 1.5));
+  in.push_back(make_beacon("YC, rural-2", "FOSSA", 99.25));  // comma field
+  std::ostringstream os;
+  write_beacon_csv(os, in);
+  std::istringstream is(os.str());
+  const auto out = read_beacon_csv(is);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].station, "HK-1");
+  EXPECT_EQ(out[1].station, "YC, rural-2");
+  EXPECT_NEAR(out[1].time_unix_s, 99.25, 1e-3);
+  EXPECT_NEAR(out[0].rssi_dbm, -120.0, 0.1);
+  EXPECT_EQ(out[0].satellite, "Tianqi-01");
+}
+
+TEST(CsvReader, UplinkRoundTrip) {
+  UplinkRecord r;
+  r.sequence = 42;
+  r.node = "TQ-node-2";
+  r.payload_bytes = 60;
+  r.generated_unix_s = 1000.0;
+  r.first_tx_unix_s = 1100.0;
+  r.satellite_rx_unix_s = 1101.0;
+  r.server_rx_unix_s = 4000.5;
+  r.dts_attempts = 3;
+  r.delivered = true;
+  r.via_satellite = "Tianqi-09";
+  std::ostringstream os;
+  write_uplink_csv(os, {r});
+  std::istringstream is(os.str());
+  const auto out = read_uplink_csv(is);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].sequence, 42u);
+  EXPECT_EQ(out[0].payload_bytes, 60);
+  EXPECT_TRUE(out[0].delivered);
+  EXPECT_NEAR(out[0].end_to_end_s(), r.end_to_end_s(), 1e-2);
+  EXPECT_EQ(out[0].via_satellite, "Tianqi-09");
+}
+
+TEST(CsvReader, RejectsMalformedInput) {
+  std::istringstream empty("");
+  EXPECT_THROW(read_beacon_csv(empty), std::invalid_argument);
+  std::istringstream wrong_header("not,a,beacon,header\n");
+  EXPECT_THROW(read_beacon_csv(wrong_header), std::invalid_argument);
+  std::istringstream short_row(
+      "time_unix_s,station,constellation,satellite,rssi_dbm,snr_db,"
+      "elevation_deg,azimuth_deg,range_km,doppler_hz,sat_altitude_km,"
+      "weather\n1.0,HK-1,Tianqi\n");
+  EXPECT_THROW(read_beacon_csv(short_row), std::invalid_argument);
+  std::istringstream bad_number(
+      "sequence,node,payload_bytes,generated_unix_s,first_tx_unix_s,"
+      "satellite_rx_unix_s,server_rx_unix_s,dts_attempts,delivered,"
+      "via_satellite\nabc,n,20,1,1,1,1,1,1,sat\n");
+  EXPECT_THROW(read_uplink_csv(bad_number), std::invalid_argument);
+}
+
+TEST(CsvWriter, EmptyVectorsProduceHeaderOnly) {
+  std::ostringstream os1, os2;
+  write_beacon_csv(os1, {});
+  write_uplink_csv(os2, {});
+  const std::string s1 = os1.str();
+  const std::string s2 = os2.str();
+  EXPECT_EQ(std::count(s1.begin(), s1.end(), '\n'), 1);
+  EXPECT_EQ(std::count(s2.begin(), s2.end(), '\n'), 1);
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Reproducibility study: run the active experiment across independent
+// seeds and report the across-seed distribution of the headline metrics
+// with bootstrap confidence intervals — the simulation-world analogue of
+// repeating the paper's month of measurements.
+//
+//   $ ./seed_sweep [n_seeds=8] [days=5]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/active_experiment.h"
+#include "core/report.h"
+#include "stats/bootstrap.h"
+
+using namespace sinet;
+using namespace sinet::core;
+
+namespace {
+
+void report(const char* metric, const std::vector<double>& values,
+            const char* unit) {
+  sim::Rng rng(4242);
+  const auto ci = stats::bootstrap_mean_ci(values, rng, 2000);
+  std::printf("  %-28s %8.2f %s   95%% CI [%.2f, %.2f]  (n=%zu seeds)\n",
+              metric, ci.point, unit, ci.low, ci.high, values.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n_seeds = argc > 1 ? std::atoi(argv[1]) : 8;
+  const double days = argc > 2 ? std::atof(argv[2]) : 5.0;
+  if (n_seeds < 2) {
+    std::fprintf(stderr, "need at least 2 seeds\n");
+    return 2;
+  }
+  std::printf("Active experiment across %d seeds (%.0f days each):\n",
+              n_seeds, days);
+
+  std::vector<double> reliability, latency_min, wait_min, delivery_min,
+      attempts;
+  for (int s = 0; s < n_seeds; ++s) {
+    ActiveExperimentKnobs knobs;
+    knobs.duration_days = days;
+    knobs.seed = 1000 + static_cast<std::uint64_t>(s) * 7919;
+    const auto cfg = make_active_config(knobs);
+    const auto res = net::run_dts_network(cfg);
+    const double end_unix = orbit::julian_to_unix(cfg.start_jd) +
+                            cfg.duration_days * 86400.0;
+    reliability.push_back(
+        summarize_reliability(res.uplinks, end_unix).reliability);
+    const auto lat = summarize_latency(res);
+    latency_min.push_back(lat.mean_min);
+    wait_min.push_back(lat.mean_breakdown.wait_for_pass_s / 60.0);
+    delivery_min.push_back(lat.mean_breakdown.delivery_s / 60.0);
+    attempts.push_back(summarize_retx(res.uplinks).mean_attempts);
+    std::printf("  seed %llu: reliability %.3f, latency %.1f min\n",
+                static_cast<unsigned long long>(knobs.seed),
+                reliability.back(), latency_min.back());
+  }
+
+  std::printf("\nacross-seed summary (paper values in parentheses):\n");
+  report("reliability (0.96)", reliability, "   ");
+  report("mean latency (135.2)", latency_min, "min");
+  report("wait segment (55.2)", wait_min, "min");
+  report("delivery segment (56.9)", delivery_min, "min");
+  report("DtS attempts/packet (~1.7)", attempts, "   ");
+  return 0;
+}
