@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12a_payload.dir/bench_fig12a_payload.cpp.o"
+  "CMakeFiles/bench_fig12a_payload.dir/bench_fig12a_payload.cpp.o.d"
+  "bench_fig12a_payload"
+  "bench_fig12a_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12a_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3a_presence.dir/bench_fig3a_presence.cpp.o"
+  "CMakeFiles/bench_fig3a_presence.dir/bench_fig3a_presence.cpp.o.d"
+  "bench_fig3a_presence"
+  "bench_fig3a_presence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3a_presence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3b_rssi.dir/bench_fig3b_rssi.cpp.o"
+  "CMakeFiles/bench_fig3b_rssi.dir/bench_fig3b_rssi.cpp.o.d"
+  "bench_fig3b_rssi"
+  "bench_fig3b_rssi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_rssi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

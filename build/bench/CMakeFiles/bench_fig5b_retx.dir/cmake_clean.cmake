@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_retx.dir/bench_fig5b_retx.cpp.o"
+  "CMakeFiles/bench_fig5b_retx.dir/bench_fig5b_retx.cpp.o.d"
+  "bench_fig5b_retx"
+  "bench_fig5b_retx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_retx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

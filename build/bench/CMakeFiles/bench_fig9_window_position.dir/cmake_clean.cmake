@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_window_position.dir/bench_fig9_window_position.cpp.o"
+  "CMakeFiles/bench_fig9_window_position.dir/bench_fig9_window_position.cpp.o.d"
+  "bench_fig9_window_position"
+  "bench_fig9_window_position.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_window_position.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_constellations.dir/bench_table3_constellations.cpp.o"
+  "CMakeFiles/bench_table3_constellations.dir/bench_table3_constellations.cpp.o.d"
+  "bench_table3_constellations"
+  "bench_table3_constellations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_constellations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constellation_planner.dir/constellation_planner.cpp.o"
+  "CMakeFiles/constellation_planner.dir/constellation_planner.cpp.o.d"
+  "constellation_planner"
+  "constellation_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constellation_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

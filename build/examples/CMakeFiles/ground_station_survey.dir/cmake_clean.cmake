@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ground_station_survey.dir/ground_station_survey.cpp.o"
+  "CMakeFiles/ground_station_survey.dir/ground_station_survey.cpp.o.d"
+  "ground_station_survey"
+  "ground_station_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ground_station_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinet_cli.dir/sinet_cli.cpp.o"
+  "CMakeFiles/sinet_cli.dir/sinet_cli.cpp.o.d"
+  "sinet"
+  "sinet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

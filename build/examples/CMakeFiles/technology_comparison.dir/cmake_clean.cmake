@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/technology_comparison.dir/technology_comparison.cpp.o"
+  "CMakeFiles/technology_comparison.dir/technology_comparison.cpp.o.d"
+  "technology_comparison"
+  "technology_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/technology_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/antenna.cpp" "src/CMakeFiles/sinet_channel.dir/channel/antenna.cpp.o" "gcc" "src/CMakeFiles/sinet_channel.dir/channel/antenna.cpp.o.d"
+  "/root/repo/src/channel/fading.cpp" "src/CMakeFiles/sinet_channel.dir/channel/fading.cpp.o" "gcc" "src/CMakeFiles/sinet_channel.dir/channel/fading.cpp.o.d"
+  "/root/repo/src/channel/noise.cpp" "src/CMakeFiles/sinet_channel.dir/channel/noise.cpp.o" "gcc" "src/CMakeFiles/sinet_channel.dir/channel/noise.cpp.o.d"
+  "/root/repo/src/channel/path_loss.cpp" "src/CMakeFiles/sinet_channel.dir/channel/path_loss.cpp.o" "gcc" "src/CMakeFiles/sinet_channel.dir/channel/path_loss.cpp.o.d"
+  "/root/repo/src/channel/weather.cpp" "src/CMakeFiles/sinet_channel.dir/channel/weather.cpp.o" "gcc" "src/CMakeFiles/sinet_channel.dir/channel/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sinet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinet_channel.dir/channel/antenna.cpp.o"
+  "CMakeFiles/sinet_channel.dir/channel/antenna.cpp.o.d"
+  "CMakeFiles/sinet_channel.dir/channel/fading.cpp.o"
+  "CMakeFiles/sinet_channel.dir/channel/fading.cpp.o.d"
+  "CMakeFiles/sinet_channel.dir/channel/noise.cpp.o"
+  "CMakeFiles/sinet_channel.dir/channel/noise.cpp.o.d"
+  "CMakeFiles/sinet_channel.dir/channel/path_loss.cpp.o"
+  "CMakeFiles/sinet_channel.dir/channel/path_loss.cpp.o.d"
+  "CMakeFiles/sinet_channel.dir/channel/weather.cpp.o"
+  "CMakeFiles/sinet_channel.dir/channel/weather.cpp.o.d"
+  "libsinet_channel.a"
+  "libsinet_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinet_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

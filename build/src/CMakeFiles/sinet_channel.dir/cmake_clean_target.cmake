@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsinet_channel.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active_experiment.cpp" "src/CMakeFiles/sinet_core.dir/core/active_experiment.cpp.o" "gcc" "src/CMakeFiles/sinet_core.dir/core/active_experiment.cpp.o.d"
+  "/root/repo/src/core/availability.cpp" "src/CMakeFiles/sinet_core.dir/core/availability.cpp.o" "gcc" "src/CMakeFiles/sinet_core.dir/core/availability.cpp.o.d"
+  "/root/repo/src/core/contact_analysis.cpp" "src/CMakeFiles/sinet_core.dir/core/contact_analysis.cpp.o" "gcc" "src/CMakeFiles/sinet_core.dir/core/contact_analysis.cpp.o.d"
+  "/root/repo/src/core/passive_campaign.cpp" "src/CMakeFiles/sinet_core.dir/core/passive_campaign.cpp.o" "gcc" "src/CMakeFiles/sinet_core.dir/core/passive_campaign.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/sinet_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/sinet_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/sinet_core.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/sinet_core.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/sinet_core.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/sinet_core.dir/core/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sinet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinet_core.dir/core/active_experiment.cpp.o"
+  "CMakeFiles/sinet_core.dir/core/active_experiment.cpp.o.d"
+  "CMakeFiles/sinet_core.dir/core/availability.cpp.o"
+  "CMakeFiles/sinet_core.dir/core/availability.cpp.o.d"
+  "CMakeFiles/sinet_core.dir/core/contact_analysis.cpp.o"
+  "CMakeFiles/sinet_core.dir/core/contact_analysis.cpp.o.d"
+  "CMakeFiles/sinet_core.dir/core/passive_campaign.cpp.o"
+  "CMakeFiles/sinet_core.dir/core/passive_campaign.cpp.o.d"
+  "CMakeFiles/sinet_core.dir/core/report.cpp.o"
+  "CMakeFiles/sinet_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/sinet_core.dir/core/scenario.cpp.o"
+  "CMakeFiles/sinet_core.dir/core/scenario.cpp.o.d"
+  "CMakeFiles/sinet_core.dir/core/scheduler.cpp.o"
+  "CMakeFiles/sinet_core.dir/core/scheduler.cpp.o.d"
+  "libsinet_core.a"
+  "libsinet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinet_cost.dir/cost/cost_model.cpp.o"
+  "CMakeFiles/sinet_cost.dir/cost/cost_model.cpp.o.d"
+  "libsinet_cost.a"
+  "libsinet_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinet_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

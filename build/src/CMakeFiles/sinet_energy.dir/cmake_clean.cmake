@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinet_energy.dir/energy/battery.cpp.o"
+  "CMakeFiles/sinet_energy.dir/energy/battery.cpp.o.d"
+  "CMakeFiles/sinet_energy.dir/energy/duty_cycle.cpp.o"
+  "CMakeFiles/sinet_energy.dir/energy/duty_cycle.cpp.o.d"
+  "CMakeFiles/sinet_energy.dir/energy/power_model.cpp.o"
+  "CMakeFiles/sinet_energy.dir/energy/power_model.cpp.o.d"
+  "libsinet_energy.a"
+  "libsinet_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinet_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

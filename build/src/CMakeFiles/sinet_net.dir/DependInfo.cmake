@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/backhaul.cpp" "src/CMakeFiles/sinet_net.dir/net/backhaul.cpp.o" "gcc" "src/CMakeFiles/sinet_net.dir/net/backhaul.cpp.o.d"
+  "/root/repo/src/net/dts_network.cpp" "src/CMakeFiles/sinet_net.dir/net/dts_network.cpp.o" "gcc" "src/CMakeFiles/sinet_net.dir/net/dts_network.cpp.o.d"
+  "/root/repo/src/net/ground_station.cpp" "src/CMakeFiles/sinet_net.dir/net/ground_station.cpp.o" "gcc" "src/CMakeFiles/sinet_net.dir/net/ground_station.cpp.o.d"
+  "/root/repo/src/net/lorawan.cpp" "src/CMakeFiles/sinet_net.dir/net/lorawan.cpp.o" "gcc" "src/CMakeFiles/sinet_net.dir/net/lorawan.cpp.o.d"
+  "/root/repo/src/net/mac.cpp" "src/CMakeFiles/sinet_net.dir/net/mac.cpp.o" "gcc" "src/CMakeFiles/sinet_net.dir/net/mac.cpp.o.d"
+  "/root/repo/src/net/satellite.cpp" "src/CMakeFiles/sinet_net.dir/net/satellite.cpp.o" "gcc" "src/CMakeFiles/sinet_net.dir/net/satellite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sinet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinet_net.dir/net/backhaul.cpp.o"
+  "CMakeFiles/sinet_net.dir/net/backhaul.cpp.o.d"
+  "CMakeFiles/sinet_net.dir/net/dts_network.cpp.o"
+  "CMakeFiles/sinet_net.dir/net/dts_network.cpp.o.d"
+  "CMakeFiles/sinet_net.dir/net/ground_station.cpp.o"
+  "CMakeFiles/sinet_net.dir/net/ground_station.cpp.o.d"
+  "CMakeFiles/sinet_net.dir/net/lorawan.cpp.o"
+  "CMakeFiles/sinet_net.dir/net/lorawan.cpp.o.d"
+  "CMakeFiles/sinet_net.dir/net/mac.cpp.o"
+  "CMakeFiles/sinet_net.dir/net/mac.cpp.o.d"
+  "CMakeFiles/sinet_net.dir/net/satellite.cpp.o"
+  "CMakeFiles/sinet_net.dir/net/satellite.cpp.o.d"
+  "libsinet_net.a"
+  "libsinet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

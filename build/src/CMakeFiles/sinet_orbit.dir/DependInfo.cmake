@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orbit/constellation.cpp" "src/CMakeFiles/sinet_orbit.dir/orbit/constellation.cpp.o" "gcc" "src/CMakeFiles/sinet_orbit.dir/orbit/constellation.cpp.o.d"
+  "/root/repo/src/orbit/frames.cpp" "src/CMakeFiles/sinet_orbit.dir/orbit/frames.cpp.o" "gcc" "src/CMakeFiles/sinet_orbit.dir/orbit/frames.cpp.o.d"
+  "/root/repo/src/orbit/geodetic.cpp" "src/CMakeFiles/sinet_orbit.dir/orbit/geodetic.cpp.o" "gcc" "src/CMakeFiles/sinet_orbit.dir/orbit/geodetic.cpp.o.d"
+  "/root/repo/src/orbit/ground_track.cpp" "src/CMakeFiles/sinet_orbit.dir/orbit/ground_track.cpp.o" "gcc" "src/CMakeFiles/sinet_orbit.dir/orbit/ground_track.cpp.o.d"
+  "/root/repo/src/orbit/look_angles.cpp" "src/CMakeFiles/sinet_orbit.dir/orbit/look_angles.cpp.o" "gcc" "src/CMakeFiles/sinet_orbit.dir/orbit/look_angles.cpp.o.d"
+  "/root/repo/src/orbit/passes.cpp" "src/CMakeFiles/sinet_orbit.dir/orbit/passes.cpp.o" "gcc" "src/CMakeFiles/sinet_orbit.dir/orbit/passes.cpp.o.d"
+  "/root/repo/src/orbit/sgp4.cpp" "src/CMakeFiles/sinet_orbit.dir/orbit/sgp4.cpp.o" "gcc" "src/CMakeFiles/sinet_orbit.dir/orbit/sgp4.cpp.o.d"
+  "/root/repo/src/orbit/sun.cpp" "src/CMakeFiles/sinet_orbit.dir/orbit/sun.cpp.o" "gcc" "src/CMakeFiles/sinet_orbit.dir/orbit/sun.cpp.o.d"
+  "/root/repo/src/orbit/time.cpp" "src/CMakeFiles/sinet_orbit.dir/orbit/time.cpp.o" "gcc" "src/CMakeFiles/sinet_orbit.dir/orbit/time.cpp.o.d"
+  "/root/repo/src/orbit/tle.cpp" "src/CMakeFiles/sinet_orbit.dir/orbit/tle.cpp.o" "gcc" "src/CMakeFiles/sinet_orbit.dir/orbit/tle.cpp.o.d"
+  "/root/repo/src/orbit/tle_catalog.cpp" "src/CMakeFiles/sinet_orbit.dir/orbit/tle_catalog.cpp.o" "gcc" "src/CMakeFiles/sinet_orbit.dir/orbit/tle_catalog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinet_orbit.dir/orbit/constellation.cpp.o"
+  "CMakeFiles/sinet_orbit.dir/orbit/constellation.cpp.o.d"
+  "CMakeFiles/sinet_orbit.dir/orbit/frames.cpp.o"
+  "CMakeFiles/sinet_orbit.dir/orbit/frames.cpp.o.d"
+  "CMakeFiles/sinet_orbit.dir/orbit/geodetic.cpp.o"
+  "CMakeFiles/sinet_orbit.dir/orbit/geodetic.cpp.o.d"
+  "CMakeFiles/sinet_orbit.dir/orbit/ground_track.cpp.o"
+  "CMakeFiles/sinet_orbit.dir/orbit/ground_track.cpp.o.d"
+  "CMakeFiles/sinet_orbit.dir/orbit/look_angles.cpp.o"
+  "CMakeFiles/sinet_orbit.dir/orbit/look_angles.cpp.o.d"
+  "CMakeFiles/sinet_orbit.dir/orbit/passes.cpp.o"
+  "CMakeFiles/sinet_orbit.dir/orbit/passes.cpp.o.d"
+  "CMakeFiles/sinet_orbit.dir/orbit/sgp4.cpp.o"
+  "CMakeFiles/sinet_orbit.dir/orbit/sgp4.cpp.o.d"
+  "CMakeFiles/sinet_orbit.dir/orbit/sun.cpp.o"
+  "CMakeFiles/sinet_orbit.dir/orbit/sun.cpp.o.d"
+  "CMakeFiles/sinet_orbit.dir/orbit/time.cpp.o"
+  "CMakeFiles/sinet_orbit.dir/orbit/time.cpp.o.d"
+  "CMakeFiles/sinet_orbit.dir/orbit/tle.cpp.o"
+  "CMakeFiles/sinet_orbit.dir/orbit/tle.cpp.o.d"
+  "CMakeFiles/sinet_orbit.dir/orbit/tle_catalog.cpp.o"
+  "CMakeFiles/sinet_orbit.dir/orbit/tle_catalog.cpp.o.d"
+  "libsinet_orbit.a"
+  "libsinet_orbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinet_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/doppler.cpp" "src/CMakeFiles/sinet_phy.dir/phy/doppler.cpp.o" "gcc" "src/CMakeFiles/sinet_phy.dir/phy/doppler.cpp.o.d"
+  "/root/repo/src/phy/error_model.cpp" "src/CMakeFiles/sinet_phy.dir/phy/error_model.cpp.o" "gcc" "src/CMakeFiles/sinet_phy.dir/phy/error_model.cpp.o.d"
+  "/root/repo/src/phy/link_budget.cpp" "src/CMakeFiles/sinet_phy.dir/phy/link_budget.cpp.o" "gcc" "src/CMakeFiles/sinet_phy.dir/phy/link_budget.cpp.o.d"
+  "/root/repo/src/phy/lora.cpp" "src/CMakeFiles/sinet_phy.dir/phy/lora.cpp.o" "gcc" "src/CMakeFiles/sinet_phy.dir/phy/lora.cpp.o.d"
+  "/root/repo/src/phy/nbiot.cpp" "src/CMakeFiles/sinet_phy.dir/phy/nbiot.cpp.o" "gcc" "src/CMakeFiles/sinet_phy.dir/phy/nbiot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sinet_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinet_phy.dir/phy/doppler.cpp.o"
+  "CMakeFiles/sinet_phy.dir/phy/doppler.cpp.o.d"
+  "CMakeFiles/sinet_phy.dir/phy/error_model.cpp.o"
+  "CMakeFiles/sinet_phy.dir/phy/error_model.cpp.o.d"
+  "CMakeFiles/sinet_phy.dir/phy/link_budget.cpp.o"
+  "CMakeFiles/sinet_phy.dir/phy/link_budget.cpp.o.d"
+  "CMakeFiles/sinet_phy.dir/phy/lora.cpp.o"
+  "CMakeFiles/sinet_phy.dir/phy/lora.cpp.o.d"
+  "CMakeFiles/sinet_phy.dir/phy/nbiot.cpp.o"
+  "CMakeFiles/sinet_phy.dir/phy/nbiot.cpp.o.d"
+  "libsinet_phy.a"
+  "libsinet_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinet_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinet_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/sinet_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/sinet_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/sinet_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/sinet_sim.dir/sim/simulation.cpp.o"
+  "CMakeFiles/sinet_sim.dir/sim/simulation.cpp.o.d"
+  "libsinet_sim.a"
+  "libsinet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/CMakeFiles/sinet_stats.dir/stats/bootstrap.cpp.o" "gcc" "src/CMakeFiles/sinet_stats.dir/stats/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/cdf.cpp" "src/CMakeFiles/sinet_stats.dir/stats/cdf.cpp.o" "gcc" "src/CMakeFiles/sinet_stats.dir/stats/cdf.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/CMakeFiles/sinet_stats.dir/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/sinet_stats.dir/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/sinet_stats.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/sinet_stats.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/CMakeFiles/sinet_stats.dir/stats/regression.cpp.o" "gcc" "src/CMakeFiles/sinet_stats.dir/stats/regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sinet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinet_stats.dir/stats/bootstrap.cpp.o"
+  "CMakeFiles/sinet_stats.dir/stats/bootstrap.cpp.o.d"
+  "CMakeFiles/sinet_stats.dir/stats/cdf.cpp.o"
+  "CMakeFiles/sinet_stats.dir/stats/cdf.cpp.o.d"
+  "CMakeFiles/sinet_stats.dir/stats/descriptive.cpp.o"
+  "CMakeFiles/sinet_stats.dir/stats/descriptive.cpp.o.d"
+  "CMakeFiles/sinet_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/sinet_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/sinet_stats.dir/stats/regression.cpp.o"
+  "CMakeFiles/sinet_stats.dir/stats/regression.cpp.o.d"
+  "libsinet_stats.a"
+  "libsinet_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinet_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinet_trace.dir/trace/csv.cpp.o"
+  "CMakeFiles/sinet_trace.dir/trace/csv.cpp.o.d"
+  "CMakeFiles/sinet_trace.dir/trace/packet_trace.cpp.o"
+  "CMakeFiles/sinet_trace.dir/trace/packet_trace.cpp.o.d"
+  "libsinet_trace.a"
+  "libsinet_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinet_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

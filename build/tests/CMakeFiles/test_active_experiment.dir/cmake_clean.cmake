@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_active_experiment.dir/test_active_experiment.cpp.o"
+  "CMakeFiles/test_active_experiment.dir/test_active_experiment.cpp.o.d"
+  "test_active_experiment"
+  "test_active_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_active_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

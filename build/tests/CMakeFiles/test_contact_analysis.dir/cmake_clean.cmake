@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contact_analysis.dir/test_contact_analysis.cpp.o"
+  "CMakeFiles/test_contact_analysis.dir/test_contact_analysis.cpp.o.d"
+  "test_contact_analysis"
+  "test_contact_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contact_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dts_network.dir/test_dts_network.cpp.o"
+  "CMakeFiles/test_dts_network.dir/test_dts_network.cpp.o.d"
+  "test_dts_network"
+  "test_dts_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dts_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

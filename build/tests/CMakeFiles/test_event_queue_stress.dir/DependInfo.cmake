@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_event_queue_stress.cpp" "tests/CMakeFiles/test_event_queue_stress.dir/test_event_queue_stress.cpp.o" "gcc" "tests/CMakeFiles/test_event_queue_stress.dir/test_event_queue_stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sinet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

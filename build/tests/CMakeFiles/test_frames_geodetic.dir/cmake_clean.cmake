@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frames_geodetic.dir/test_frames_geodetic.cpp.o"
+  "CMakeFiles/test_frames_geodetic.dir/test_frames_geodetic.cpp.o.d"
+  "test_frames_geodetic"
+  "test_frames_geodetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frames_geodetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ground_track.dir/test_ground_track.cpp.o"
+  "CMakeFiles/test_ground_track.dir/test_ground_track.cpp.o.d"
+  "test_ground_track"
+  "test_ground_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ground_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lorawan.dir/test_lorawan.cpp.o"
+  "CMakeFiles/test_lorawan.dir/test_lorawan.cpp.o.d"
+  "test_lorawan"
+  "test_lorawan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lorawan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_components.dir/test_net_components.cpp.o"
+  "CMakeFiles/test_net_components.dir/test_net_components.cpp.o.d"
+  "test_net_components"
+  "test_net_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orbit_time.dir/test_orbit_time.cpp.o"
+  "CMakeFiles/test_orbit_time.dir/test_orbit_time.cpp.o.d"
+  "test_orbit_time"
+  "test_orbit_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orbit_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

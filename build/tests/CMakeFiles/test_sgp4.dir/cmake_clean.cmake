@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgp4.dir/test_sgp4.cpp.o"
+  "CMakeFiles/test_sgp4.dir/test_sgp4.cpp.o.d"
+  "test_sgp4"
+  "test_sgp4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgp4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

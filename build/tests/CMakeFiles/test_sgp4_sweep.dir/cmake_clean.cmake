@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgp4_sweep.dir/test_sgp4_sweep.cpp.o"
+  "CMakeFiles/test_sgp4_sweep.dir/test_sgp4_sweep.cpp.o.d"
+  "test_sgp4_sweep"
+  "test_sgp4_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgp4_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_active.dir/calibrate_active.cpp.o"
+  "CMakeFiles/calibrate_active.dir/calibrate_active.cpp.o.d"
+  "calibrate_active"
+  "calibrate_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

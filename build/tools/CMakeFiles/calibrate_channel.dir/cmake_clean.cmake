@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_channel.dir/calibrate_channel.cpp.o"
+  "CMakeFiles/calibrate_channel.dir/calibrate_channel.cpp.o.d"
+  "calibrate_channel"
+  "calibrate_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

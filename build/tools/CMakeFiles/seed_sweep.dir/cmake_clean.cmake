@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_sweep.dir/seed_sweep.cpp.o"
+  "CMakeFiles/seed_sweep.dir/seed_sweep.cpp.o.d"
+  "seed_sweep"
+  "seed_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
