@@ -7,19 +7,25 @@ namespace sinet::core {
 
 namespace {
 
-std::vector<orbit::ContactWindow> windows_for_tles(
+/// Per-TLE windows via the cached batch API (one task per satellite).
+std::vector<std::vector<orbit::ContactWindow>> per_tle_windows(
     const std::vector<orbit::Tle>& tles, const MeasurementSite& site,
     orbit::JulianDate start_jd, const AvailabilityOptions& opts) {
   orbit::PassPredictionOptions popts;
   popts.min_elevation_deg = opts.min_elevation_deg;
   popts.coarse_step_s = opts.pass_scan_step_s;
+  return orbit::predict_passes_batch_cached(
+      tles, site.location, start_jd, start_jd + opts.duration_days, popts,
+      opts.threads,
+      opts.use_window_cache ? &orbit::ContactWindowCache::global() : nullptr);
+}
+
+std::vector<orbit::ContactWindow> windows_for_tles(
+    const std::vector<orbit::Tle>& tles, const MeasurementSite& site,
+    orbit::JulianDate start_jd, const AvailabilityOptions& opts) {
   std::vector<orbit::ContactWindow> all;
-  for (const orbit::Tle& tle : tles) {
-    const orbit::Sgp4 prop(tle);
-    const auto ws = orbit::predict_passes(
-        prop, site.location, start_jd, start_jd + opts.duration_days, popts);
+  for (const auto& ws : per_tle_windows(tles, site, start_jd, opts))
     all.insert(all.end(), ws.begin(), ws.end());
-  }
   return all;
 }
 
@@ -49,19 +55,13 @@ std::vector<double> per_satellite_daily_hours(
     const orbit::ConstellationSpec& spec, const MeasurementSite& site,
     orbit::JulianDate start_jd, const AvailabilityOptions& opts) {
   const auto tles = orbit::generate_tles(spec, start_jd);
+  const auto per_sat = per_tle_windows(tles, site, start_jd, opts);
   std::vector<double> out;
   out.reserve(tles.size());
-  orbit::PassPredictionOptions popts;
-  popts.min_elevation_deg = opts.min_elevation_deg;
-  popts.coarse_step_s = opts.pass_scan_step_s;
-  for (const orbit::Tle& tle : tles) {
-    const orbit::Sgp4 prop(tle);
-    const auto ws = orbit::predict_passes(
-        prop, site.location, start_jd, start_jd + opts.duration_days, popts);
+  for (const auto& ws : per_sat)
     out.push_back(orbit::daily_visible_seconds(
                       ws, start_jd, start_jd + opts.duration_days) /
                   3600.0);
-  }
   return out;
 }
 
@@ -70,17 +70,37 @@ std::vector<double> presence_vs_constellation_size(
     orbit::JulianDate start_jd, const std::vector<int>& sizes,
     const AvailabilityOptions& opts) {
   const auto tles = orbit::generate_tles(spec, start_jd);
-  std::vector<double> out;
+  int max_k = 0;
   for (const int k : sizes) {
     if (k <= 0 || k > static_cast<int>(tles.size()))
       throw std::invalid_argument(
           "presence_vs_constellation_size: size out of range");
-    const std::vector<orbit::Tle> subset(tles.begin(), tles.begin() + k);
-    const auto merged = orbit::merge_windows(
-        windows_for_tles(subset, site, start_jd, opts));
-    out.push_back(orbit::daily_visible_seconds(
-                      merged, start_jd, start_jd + opts.duration_days) /
-                  3600.0);
+    max_k = std::max(max_k, k);
+  }
+
+  // Predict each satellite's windows exactly once (the naive per-k rerun
+  // is O(N^2) pass predictions), then evaluate the subset sizes in
+  // ascending order over a growing prefix of the per-satellite windows.
+  const std::vector<orbit::Tle> prefix(tles.begin(), tles.begin() + max_k);
+  const auto per_sat = per_tle_windows(prefix, site, start_jd, opts);
+
+  std::vector<std::size_t> order(sizes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sizes[a] < sizes[b];
+  });
+
+  std::vector<double> out(sizes.size());
+  std::vector<orbit::ContactWindow> flat;
+  std::size_t consumed = 0;
+  for (const std::size_t idx : order) {
+    const auto k = static_cast<std::size_t>(sizes[idx]);
+    for (; consumed < k; ++consumed)
+      flat.insert(flat.end(), per_sat[consumed].begin(),
+                  per_sat[consumed].end());
+    out[idx] = orbit::daily_visible_seconds(
+                   flat, start_jd, start_jd + opts.duration_days) /
+               3600.0;
   }
   return out;
 }

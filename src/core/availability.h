@@ -16,6 +16,12 @@ struct AvailabilityOptions {
   double duration_days = 3.0;      ///< analysis span
   double min_elevation_deg = 0.0;  ///< visibility mask
   double pass_scan_step_s = 60.0;
+  /// Pass-prediction fan-out (orbit::predict_passes_batch): 0 = all
+  /// hardware threads, 1 = exact serial legacy path, N = N workers.
+  unsigned threads = 0;
+  /// Serve repeated (satellite, site, span) predictions from the global
+  /// orbit::ContactWindowCache instead of recomputing them.
+  bool use_window_cache = true;
 };
 
 /// Daily hours during which at least one satellite of `spec` is visible

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <map>
 #include <stdexcept>
+
+#include "sim/thread_pool.h"
 
 namespace sinet::core {
 
@@ -47,7 +50,7 @@ double ContactOutcome::reception_ratio() const {
 
 std::vector<ContactOutcome> analyze_contacts(
     const PassiveCampaignResult& campaign, const CellKey& cell,
-    double beacon_period_s) {
+    double beacon_period_s, unsigned threads) {
   if (beacon_period_s <= 0.0)
     throw std::invalid_argument("analyze_contacts: bad beacon period");
   const auto it = campaign.theoretical.find(cell);
@@ -56,10 +59,17 @@ std::vector<ContactOutcome> analyze_contacts(
                                 cell.first + "/" + cell.second);
 
   const auto per_sat = traces_by_satellite(campaign, cell);
-  std::vector<ContactOutcome> out;
+  const std::vector<SatelliteWindows>& sats = it->second;
 
-  for (const SatelliteWindows& sw : it->second) {
+  // Each satellite's windows are matched independently against its own
+  // (read-only) trace list; per-satellite results land in indexed slots,
+  // so the flattened sequence is identical for any worker count.
+  std::vector<std::vector<ContactOutcome>> per_sat_outcomes(sats.size());
+  const auto match_one = [&](std::size_t s) {
+    const SatelliteWindows& sw = sats[s];
     const auto traces_it = per_sat.find(sw.satellite);
+    std::vector<ContactOutcome>& slot = per_sat_outcomes[s];
+    slot.reserve(sw.windows.size());
     for (const orbit::ContactWindow& w : sw.windows) {
       ContactOutcome c;
       c.satellite = sw.satellite;
@@ -76,8 +86,19 @@ std::vector<ContactOutcome> analyze_contacts(
           c.last_rx_unix_s = r->time_unix_s;
         }
       }
-      out.push_back(c);
+      slot.push_back(c);
     }
+  };
+  if (threads == 1 || sats.size() <= 1) {
+    for (std::size_t s = 0; s < sats.size(); ++s) match_one(s);
+  } else {
+    sim::ThreadPool::shared().parallel_for(sats.size(), match_one);
+  }
+
+  std::vector<ContactOutcome> out;
+  for (std::vector<ContactOutcome>& slot : per_sat_outcomes) {
+    out.insert(out.end(), std::make_move_iterator(slot.begin()),
+               std::make_move_iterator(slot.end()));
   }
   std::sort(out.begin(), out.end(),
             [](const ContactOutcome& a, const ContactOutcome& b) {

@@ -34,10 +34,13 @@ struct ContactOutcome {
   [[nodiscard]] bool effective() const { return beacons_received > 0; }
 };
 
-/// Match a cell's beacon traces to its theoretical windows.
+/// Match a cell's beacon traces to its theoretical windows. Satellites
+/// are matched independently (fanned out on the shared thread pool), then
+/// assembled in deterministic order; `threads` follows the batch-API
+/// convention (0 = all hardware threads, 1 = serial).
 [[nodiscard]] std::vector<ContactOutcome> analyze_contacts(
     const PassiveCampaignResult& campaign, const CellKey& cell,
-    double beacon_period_s);
+    double beacon_period_s, unsigned threads = 0);
 
 /// Aggregate statistics of a cell (one site x constellation).
 struct ContactStats {

@@ -159,18 +159,25 @@ PassiveCampaignResult run_passive_campaign(const PassiveCampaignConfig& cfg) {
       link.lora.sf = static_cast<phy::SpreadingFactor>(
           std::clamp(constellation.beacon_sf, 7, 12));
 
+      // Windows for the whole constellation in one batch (parallel across
+      // satellites, cached across repeated runs); results in TLE order, so
+      // requests/assets/cells are built exactly as the serial loop did.
+      const auto tles = orbit::generate_tles(constellation, cfg.start_jd);
+      auto windows = orbit::predict_passes_batch_cached(
+          tles, site.location, cfg.start_jd, end_jd, pass_opts, cfg.threads,
+          cfg.use_window_cache ? &orbit::ContactWindowCache::global()
+                               : nullptr);
+
       std::vector<SatelliteWindows> cell;
-      for (const orbit::Tle& tle :
-           orbit::generate_tles(constellation, cfg.start_jd)) {
-        const orbit::Sgp4 prop(tle);
+      for (std::size_t i = 0; i < tles.size(); ++i) {
+        const orbit::Tle& tle = tles[i];
         SatelliteWindows sw;
         sw.satellite = tle.name;
-        sw.windows = orbit::predict_passes(prop, site.location, cfg.start_jd,
-                                           end_jd, pass_opts);
+        sw.windows = std::move(windows[i]);
         for (const orbit::ContactWindow& w : sw.windows)
           requests.push_back(
               ObservationRequest{tle.name, constellation.name, w});
-        assets.emplace(tle.name, SatelliteAsset{prop, link});
+        assets.emplace(tle.name, SatelliteAsset{orbit::Sgp4(tle), link});
         cell.push_back(std::move(sw));
       }
       result.theoretical.emplace(CellKey{site.code, constellation.name},

@@ -40,6 +40,14 @@ struct PassiveCampaignConfig {
   /// set, beacons are only transmitted in sunlight (one of the paper's
   /// suspected loss causes, Appendix C "resource constraints").
   bool eclipse_gates_beacons = false;
+  /// Pass-prediction fan-out (orbit::predict_passes_batch): 0 = all
+  /// hardware threads, 1 = exact serial legacy path, N = N workers.
+  /// Only window *prediction* is parallel; the beacon/channel simulation
+  /// stays serial so RNG draws are untouched.
+  unsigned threads = 0;
+  /// Serve repeated window predictions from the global
+  /// orbit::ContactWindowCache.
+  bool use_window_cache = true;
   std::uint64_t seed = 1;
 };
 

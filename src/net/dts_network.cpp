@@ -125,19 +125,35 @@ class Simulator {
         satellites_.size(),
         std::vector<std::vector<ContactWindow>>(cfg_.ground_stations.size()));
 
-    for (std::size_t s = 0; s < satellites_.size(); ++s) {
+    // Fan the (satellite x node-location) pairs out as one batch, then
+    // one batch per ground station (each station carries its own
+    // elevation mask). Results come back in input order, so the window
+    // tables are identical to the serial loops.
+    std::vector<orbit::PassBatchRequest> node_requests;
+    node_requests.reserve(satellites_.size() * locations_.size());
+    for (std::size_t s = 0; s < satellites_.size(); ++s)
+      for (std::size_t l = 0; l < locations_.size(); ++l)
+        node_requests.push_back(
+            {&satellites_[s].propagator, locations_[l]});
+    auto node_windows = orbit::predict_passes_batch(
+        node_requests, cfg_.start_jd, end_jd, opts, cfg_.pass_threads);
+    for (std::size_t s = 0; s < satellites_.size(); ++s)
       for (std::size_t l = 0; l < locations_.size(); ++l)
         node_windows_[s][l] =
-            orbit::predict_passes(satellites_[s].propagator, locations_[l],
-                                  cfg_.start_jd, end_jd, opts);
-      for (std::size_t g = 0; g < cfg_.ground_stations.size(); ++g) {
-        orbit::PassPredictionOptions gs_opts = opts;
-        gs_opts.min_elevation_deg =
-            cfg_.ground_stations[g].min_elevation_deg;
-        gs_windows_[s][g] = orbit::predict_passes(
-            satellites_[s].propagator, cfg_.ground_stations[g].location,
-            cfg_.start_jd, end_jd, gs_opts);
-      }
+            std::move(node_windows[s * locations_.size() + l]);
+
+    for (std::size_t g = 0; g < cfg_.ground_stations.size(); ++g) {
+      orbit::PassPredictionOptions gs_opts = opts;
+      gs_opts.min_elevation_deg = cfg_.ground_stations[g].min_elevation_deg;
+      std::vector<orbit::PassBatchRequest> gs_requests;
+      gs_requests.reserve(satellites_.size());
+      for (std::size_t s = 0; s < satellites_.size(); ++s)
+        gs_requests.push_back({&satellites_[s].propagator,
+                               cfg_.ground_stations[g].location});
+      auto gs_windows = orbit::predict_passes_batch(
+          gs_requests, cfg_.start_jd, end_jd, gs_opts, cfg_.pass_threads);
+      for (std::size_t s = 0; s < satellites_.size(); ++s)
+        gs_windows_[s][g] = std::move(gs_windows[s]);
     }
   }
 

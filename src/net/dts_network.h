@@ -111,6 +111,11 @@ struct DtsNetworkConfig {
   double visibility_mask_deg = 0.0;
   /// Coarse pass-scan step (s). 60 s is safe for LEO (> 6-min passes).
   double pass_scan_step_s = 60.0;
+  /// Pass-prediction fan-out (orbit::predict_passes_batch): 0 = all
+  /// hardware threads, 1 = exact serial legacy path. Only the upfront
+  /// window prediction is parallel; the event-driven simulation itself
+  /// stays serial and deterministic.
+  unsigned pass_threads = 0;
 
   std::uint64_t seed = 42;
 };

@@ -25,6 +25,15 @@ Vec3 teme_to_ecef_velocity(const Vec3& r_teme_km, const Vec3& v_teme_km_s,
   return v_rot - omega.cross(r_ecef);
 }
 
+EcefState teme_to_ecef_state(const Vec3& r_teme_km, const Vec3& v_teme_km_s,
+                             JulianDate jd) {
+  const double theta = gmst_rad(jd);
+  const Vec3 r_ecef = rotate_z(r_teme_km, theta);
+  const Vec3 v_rot = rotate_z(v_teme_km_s, theta);
+  const Vec3 omega{0.0, 0.0, kEarthRotationRadPerSec};
+  return {r_ecef, v_rot - omega.cross(r_ecef)};
+}
+
 Vec3 ecef_to_teme_position(const Vec3& r_ecef_km, JulianDate jd) {
   return rotate_z(r_ecef_km, -gmst_rad(jd));
 }

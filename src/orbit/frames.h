@@ -23,6 +23,22 @@ inline constexpr double kEarthRotationRadPerSec = 7.29211514670698e-5;
                                          const Vec3& v_teme_km_s,
                                          JulianDate jd);
 
+/// Position + velocity in ECEF.
+struct EcefState {
+  Vec3 position_km;
+  Vec3 velocity_km_s;
+};
+
+/// Rotate a full TEME state into ECEF, evaluating GMST and the position
+/// rotation once and sharing them between position and velocity.
+/// Bit-identical to calling teme_to_ecef_position and
+/// teme_to_ecef_velocity separately (both would compute the same GMST and
+/// the same rotated position); this is the hot-path form used by pass
+/// prediction, which needs both vectors at every sample.
+[[nodiscard]] EcefState teme_to_ecef_state(const Vec3& r_teme_km,
+                                           const Vec3& v_teme_km_s,
+                                           JulianDate jd);
+
 /// Inverse rotation: ECEF position (km) -> TEME.
 [[nodiscard]] Vec3 ecef_to_teme_position(const Vec3& r_ecef_km, JulianDate jd);
 

@@ -7,15 +7,28 @@
 
 namespace sinet::orbit {
 
-LookAngles look_angles(const Geodetic& observer, const Vec3& sat_ecef_km,
-                       const Vec3& sat_ecef_vel_km_s) {
-  const Vec3 obs_ecef = geodetic_to_ecef(observer);
-  const Vec3 rel = sat_ecef_km - obs_ecef;
-
+TopocentricFrame::TopocentricFrame(const Geodetic& observer)
+    : obs_ecef_km(geodetic_to_ecef(observer)) {
   const double lat = observer.latitude_deg * kDegToRad;
   const double lon = observer.longitude_deg * kDegToRad;
-  const double sin_lat = std::sin(lat), cos_lat = std::cos(lat);
-  const double sin_lon = std::sin(lon), cos_lon = std::cos(lon);
+  sin_lat = std::sin(lat);
+  cos_lat = std::cos(lat);
+  sin_lon = std::sin(lon);
+  cos_lon = std::cos(lon);
+}
+
+LookAngles look_angles(const Geodetic& observer, const Vec3& sat_ecef_km,
+                       const Vec3& sat_ecef_vel_km_s) {
+  return look_angles(TopocentricFrame(observer), sat_ecef_km,
+                     sat_ecef_vel_km_s);
+}
+
+LookAngles look_angles(const TopocentricFrame& frame, const Vec3& sat_ecef_km,
+                       const Vec3& sat_ecef_vel_km_s) {
+  const Vec3 rel = sat_ecef_km - frame.obs_ecef_km;
+
+  const double sin_lat = frame.sin_lat, cos_lat = frame.cos_lat;
+  const double sin_lon = frame.sin_lon, cos_lon = frame.cos_lon;
 
   // ECEF -> ENU (east, north, up) at the observer.
   const double east = -sin_lon * rel.x + cos_lon * rel.y;

@@ -15,9 +15,28 @@ struct LookAngles {
   double range_rate_km_s = 0.0;  ///< d(range)/dt; negative = approaching
 };
 
+/// Observer-fixed quantities of the ECEF->ENU transform (observer ECEF
+/// position and the latitude/longitude trig of the ENU basis). Pass
+/// prediction evaluates look angles thousands of times per window for the
+/// same ground site; hoisting these out of the per-sample loop removes a
+/// geodetic_to_ecef call and four trig evaluations per sample while
+/// producing bit-identical angles.
+struct TopocentricFrame {
+  explicit TopocentricFrame(const Geodetic& observer);
+
+  Vec3 obs_ecef_km;
+  double sin_lat, cos_lat;
+  double sin_lon, cos_lon;
+};
+
 /// Compute look angles from an observer (geodetic, WGS-84) to a satellite
 /// given both ECEF position (km) and ECEF velocity (km/s).
 [[nodiscard]] LookAngles look_angles(const Geodetic& observer,
+                                     const Vec3& sat_ecef_km,
+                                     const Vec3& sat_ecef_vel_km_s);
+
+/// Same computation with the observer-fixed terms precomputed.
+[[nodiscard]] LookAngles look_angles(const TopocentricFrame& frame,
                                      const Vec3& sat_ecef_km,
                                      const Vec3& sat_ecef_vel_km_s);
 

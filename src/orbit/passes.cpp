@@ -3,30 +3,43 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "orbit/frames.h"
+#include "sim/thread_pool.h"
 
 namespace sinet::orbit {
 
-namespace {
-
-double elevation_at(const Sgp4& prop, const Geodetic& obs, JulianDate jd) {
-  const TemeState st = prop.at_jd(jd);
-  const Vec3 r = teme_to_ecef_position(st.position_km, jd);
-  const Vec3 v = teme_to_ecef_velocity(st.position_km, st.velocity_km_s, jd);
-  return look_angles(obs, r, v).elevation_deg;
+double ElevationSampler::elevation_deg(JulianDate jd) const {
+  const TemeState st = prop_->at_jd(jd);
+  const EcefState ecef =
+      teme_to_ecef_state(st.position_km, st.velocity_km_s, jd);
+  return look_angles(frame_, ecef.position_km, ecef.velocity_km_s)
+      .elevation_deg;
 }
+
+PassSample ElevationSampler::sample(JulianDate jd) const {
+  const TemeState st = prop_->at_jd(jd);
+  const EcefState ecef =
+      teme_to_ecef_state(st.position_km, st.velocity_km_s, jd);
+  PassSample s;
+  s.jd = jd;
+  s.look = look_angles(frame_, ecef.position_km, ecef.velocity_km_s);
+  s.subsatellite_point = ecef_to_geodetic(ecef.position_km);
+  return s;
+}
+
+namespace {
 
 /// Bisect for the elevation-mask crossing between jd_lo (below/above) and
 /// jd_hi with opposite visibility state.
-JulianDate refine_crossing(const Sgp4& prop, const Geodetic& obs,
-                           JulianDate jd_lo, JulianDate jd_hi, double mask_deg,
-                           double tol_s) {
-  const bool lo_vis = elevation_at(prop, obs, jd_lo) >= mask_deg;
+JulianDate refine_crossing(const ElevationSampler& sampler, JulianDate jd_lo,
+                           JulianDate jd_hi, double mask_deg, double tol_s) {
+  const bool lo_vis = sampler.elevation_deg(jd_lo) >= mask_deg;
   for (int i = 0; i < 64; ++i) {
     if ((jd_hi - jd_lo) * kSecondsPerDay <= tol_s) break;
     const JulianDate mid = 0.5 * (jd_lo + jd_hi);
-    const bool mid_vis = elevation_at(prop, obs, mid) >= mask_deg;
+    const bool mid_vis = sampler.elevation_deg(mid) >= mask_deg;
     if (mid_vis == lo_vis)
       jd_lo = mid;
     else
@@ -36,45 +49,37 @@ JulianDate refine_crossing(const Sgp4& prop, const Geodetic& obs,
 }
 
 /// Golden-section search for max elevation inside [a, b].
-std::pair<JulianDate, double> refine_peak(const Sgp4& prop,
-                                          const Geodetic& obs, JulianDate a,
-                                          JulianDate b) {
+std::pair<JulianDate, double> refine_peak(const ElevationSampler& sampler,
+                                          JulianDate a, JulianDate b) {
   constexpr double kInvPhi = 0.6180339887498949;
   JulianDate x1 = b - kInvPhi * (b - a);
   JulianDate x2 = a + kInvPhi * (b - a);
-  double f1 = elevation_at(prop, obs, x1);
-  double f2 = elevation_at(prop, obs, x2);
+  double f1 = sampler.elevation_deg(x1);
+  double f2 = sampler.elevation_deg(x2);
   for (int i = 0; i < 48 && (b - a) * kSecondsPerDay > 0.5; ++i) {
     if (f1 < f2) {
       a = x1;
       x1 = x2;
       f1 = f2;
       x2 = a + kInvPhi * (b - a);
-      f2 = elevation_at(prop, obs, x2);
+      f2 = sampler.elevation_deg(x2);
     } else {
       b = x2;
       x2 = x1;
       f2 = f1;
       x1 = b - kInvPhi * (b - a);
-      f1 = elevation_at(prop, obs, x1);
+      f1 = sampler.elevation_deg(x1);
     }
   }
   const JulianDate peak = 0.5 * (a + b);
-  return {peak, elevation_at(prop, obs, peak)};
+  return {peak, sampler.elevation_deg(peak)};
 }
 
 }  // namespace
 
 PassSample sample_geometry(const Sgp4& prop, const Geodetic& observer,
                            JulianDate jd) {
-  const TemeState st = prop.at_jd(jd);
-  const Vec3 r = teme_to_ecef_position(st.position_km, jd);
-  const Vec3 v = teme_to_ecef_velocity(st.position_km, st.velocity_km_s, jd);
-  PassSample s;
-  s.jd = jd;
-  s.look = look_angles(observer, r, v);
-  s.subsatellite_point = ecef_to_geodetic(r);
-  return s;
+  return ElevationSampler(prop, observer).sample(jd);
 }
 
 std::vector<ContactWindow> predict_passes(const Sgp4& prop,
@@ -87,29 +92,28 @@ std::vector<ContactWindow> predict_passes(const Sgp4& prop,
   if (opts.coarse_step_s <= 0.0)
     throw std::invalid_argument("predict_passes: nonpositive step");
 
+  const ElevationSampler sampler(prop, observer);
   std::vector<ContactWindow> out;
   const double step_days = opts.coarse_step_s / kSecondsPerDay;
 
-  bool prev_vis = elevation_at(prop, observer, jd_start) >=
-                  opts.min_elevation_deg;
+  bool prev_vis = sampler.elevation_deg(jd_start) >= opts.min_elevation_deg;
   JulianDate window_start = prev_vis ? jd_start : 0.0;
 
   for (JulianDate jd = jd_start + step_days;; jd += step_days) {
     const JulianDate t = std::min(jd, jd_end);
-    const bool vis =
-        elevation_at(prop, observer, t) >= opts.min_elevation_deg;
+    const bool vis = sampler.elevation_deg(t) >= opts.min_elevation_deg;
     if (vis && !prev_vis) {
-      window_start = refine_crossing(prop, observer, t - step_days, t,
+      window_start = refine_crossing(sampler, t - step_days, t,
                                      opts.min_elevation_deg,
                                      opts.refine_tolerance_s);
     } else if (!vis && prev_vis) {
       const JulianDate window_end =
-          refine_crossing(prop, observer, t - step_days, t,
-                          opts.min_elevation_deg, opts.refine_tolerance_s);
+          refine_crossing(sampler, t - step_days, t, opts.min_elevation_deg,
+                          opts.refine_tolerance_s);
       ContactWindow w;
       w.aos_jd = window_start;
       w.los_jd = window_end;
-      auto [tca, elev] = refine_peak(prop, observer, w.aos_jd, w.los_jd);
+      auto [tca, elev] = refine_peak(sampler, w.aos_jd, w.los_jd);
       w.tca_jd = tca;
       w.max_elevation_deg = elev;
       out.push_back(w);
@@ -121,10 +125,167 @@ std::vector<ContactWindow> predict_passes(const Sgp4& prop,
     ContactWindow w;
     w.aos_jd = window_start;
     w.los_jd = jd_end;
-    auto [tca, elev] = refine_peak(prop, observer, w.aos_jd, w.los_jd);
+    auto [tca, elev] = refine_peak(sampler, w.aos_jd, w.los_jd);
     w.tca_jd = tca;
     w.max_elevation_deg = elev;
     out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<std::vector<ContactWindow>> predict_passes_batch(
+    const std::vector<PassBatchRequest>& requests, JulianDate jd_start,
+    JulianDate jd_end, const PassPredictionOptions& opts, unsigned threads) {
+  // Validate once up front so failures are thrown deterministically
+  // before any task is spawned.
+  if (jd_end < jd_start)
+    throw std::invalid_argument("predict_passes_batch: jd_end < jd_start");
+  if (opts.coarse_step_s <= 0.0)
+    throw std::invalid_argument("predict_passes_batch: nonpositive step");
+  for (const PassBatchRequest& req : requests)
+    if (req.propagator == nullptr)
+      throw std::invalid_argument("predict_passes_batch: null propagator");
+
+  std::vector<std::vector<ContactWindow>> out(requests.size());
+  const auto run_one = [&](std::size_t i) {
+    out[i] = predict_passes(*requests[i].propagator, requests[i].observer,
+                            jd_start, jd_end, opts);
+  };
+
+  if (threads == 1 || requests.size() <= 1) {
+    // Exact legacy path: serial loop on the calling thread.
+    for (std::size_t i = 0; i < requests.size(); ++i) run_one(i);
+    return out;
+  }
+
+  sim::ThreadPool& shared = sim::ThreadPool::shared();
+  if (threads == 0 || threads == shared.size()) {
+    shared.parallel_for(requests.size(), run_one);
+  } else {
+    sim::ThreadPool local(threads);  // explicit worker count (benchmarks)
+    local.parallel_for(requests.size(), run_one);
+  }
+  return out;
+}
+
+ContactWindowCache::Key ContactWindowCache::make_key(
+    const Tle& tle, const Geodetic& observer, JulianDate jd_start,
+    JulianDate jd_end, const PassPredictionOptions& opts) {
+  return Key{tle.epoch_jd,
+             tle.inclination_deg,
+             tle.raan_deg,
+             tle.eccentricity,
+             tle.arg_perigee_deg,
+             tle.mean_anomaly_deg,
+             tle.mean_motion_rev_day,
+             tle.bstar,
+             observer.latitude_deg,
+             observer.longitude_deg,
+             observer.altitude_km,
+             jd_start,
+             jd_end,
+             opts.min_elevation_deg,
+             opts.coarse_step_s,
+             opts.refine_tolerance_s};
+}
+
+std::vector<ContactWindow> ContactWindowCache::get_or_predict(
+    const Tle& tle, const Geodetic& observer, JulianDate jd_start,
+    JulianDate jd_end, const PassPredictionOptions& opts) {
+  const Key key = make_key(tle, observer, jd_start, jd_end, opts);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Compute outside the lock; a concurrent miss on the same key does the
+  // same deterministic work and the second insert is a no-op.
+  const Sgp4 prop(tle);
+  std::vector<ContactWindow> windows =
+      predict_passes(prop, observer, jd_start, jd_end, opts);
+  insert(key, windows);
+  return windows;
+}
+
+void ContactWindowCache::insert(const Key& key,
+                                const std::vector<ContactWindow>& windows) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!entries_.emplace(key, windows).second) return;  // already present
+  insertion_order_.push_back(key);
+  while (entries_.size() > max_entries_ && !insertion_order_.empty()) {
+    entries_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+  }
+}
+
+ContactWindowCache::Stats ContactWindowCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {hits_, misses_, entries_.size()};
+}
+
+void ContactWindowCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  insertion_order_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+ContactWindowCache& ContactWindowCache::global() {
+  static ContactWindowCache cache;
+  return cache;
+}
+
+std::vector<std::vector<ContactWindow>> predict_passes_batch_cached(
+    const std::vector<Tle>& tles, const Geodetic& observer,
+    JulianDate jd_start, JulianDate jd_end, const PassPredictionOptions& opts,
+    unsigned threads, ContactWindowCache* cache) {
+  std::vector<std::vector<ContactWindow>> out(tles.size());
+
+  // Probe the cache; remember which TLEs still need computing.
+  std::vector<std::size_t> miss_indices;
+  if (cache == nullptr) {
+    miss_indices.resize(tles.size());
+    for (std::size_t i = 0; i < tles.size(); ++i) miss_indices[i] = i;
+  } else {
+    std::lock_guard<std::mutex> lock(cache->mutex_);
+    for (std::size_t i = 0; i < tles.size(); ++i) {
+      const auto key =
+          ContactWindowCache::make_key(tles[i], observer, jd_start, jd_end,
+                                       opts);
+      const auto it = cache->entries_.find(key);
+      if (it != cache->entries_.end()) {
+        ++cache->hits_;
+        out[i] = it->second;
+      } else {
+        ++cache->misses_;
+        miss_indices.push_back(i);
+      }
+    }
+  }
+  if (miss_indices.empty()) return out;
+
+  // Batch-predict the misses; results land in input order.
+  std::vector<Sgp4> props;
+  props.reserve(miss_indices.size());
+  for (const std::size_t i : miss_indices) props.emplace_back(tles[i]);
+  std::vector<PassBatchRequest> requests(miss_indices.size());
+  for (std::size_t m = 0; m < miss_indices.size(); ++m)
+    requests[m] = PassBatchRequest{&props[m], observer};
+  auto computed =
+      predict_passes_batch(requests, jd_start, jd_end, opts, threads);
+
+  for (std::size_t m = 0; m < miss_indices.size(); ++m) {
+    const std::size_t i = miss_indices[m];
+    if (cache != nullptr)
+      cache->insert(ContactWindowCache::make_key(tles[i], observer, jd_start,
+                                                 jd_end, opts),
+                    computed[m]);
+    out[i] = std::move(computed[m]);
   }
   return out;
 }
@@ -133,11 +294,19 @@ std::vector<PassSample> sample_pass(const Sgp4& prop, const Geodetic& observer,
                                     const ContactWindow& window,
                                     double step_s) {
   if (step_s <= 0.0) throw std::invalid_argument("sample_pass: step <= 0");
+  const ElevationSampler sampler(prop, observer);
   std::vector<PassSample> out;
   const double step_days = step_s / kSecondsPerDay;
   for (JulianDate jd = window.aos_jd; jd < window.los_jd; jd += step_days)
-    out.push_back(sample_geometry(prop, observer, jd));
-  out.push_back(sample_geometry(prop, observer, window.los_jd));
+    out.push_back(sampler.sample(jd));
+  // The terminal sample is pinned to LOS exactly. When the window
+  // duration is an exact multiple of step_s the loop's last grid point
+  // already sits at LOS (modulo float accumulation) — drop it instead of
+  // emitting a duplicate terminal sample microseconds apart.
+  const double dup_tol_days = std::min(1e-6, 0.5 * step_days);
+  if (!out.empty() && window.los_jd - out.back().jd < dup_tol_days)
+    out.pop_back();
+  out.push_back(sampler.sample(window.los_jd));
   return out;
 }
 

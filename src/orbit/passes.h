@@ -5,6 +5,11 @@
 // from TLEs via SGP4 (paper Sec 3.1, Figs 3a/4a/4b).
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
 #include <vector>
 
 #include "orbit/geodetic.h"
@@ -39,6 +44,32 @@ struct PassPredictionOptions {
   double refine_tolerance_s = 0.5; ///< bisection tolerance on AOS/LOS
 };
 
+/// Evaluates pass geometry for one fixed (propagator, observer) pair.
+///
+/// Hoists everything that does not change between samples out of the
+/// per-sample loop: the observer's ECEF position and ENU basis trig
+/// (TopocentricFrame), and — via teme_to_ecef_state — the GMST rotation,
+/// which the naive path (teme_to_ecef_position + teme_to_ecef_velocity)
+/// evaluates twice per sample. Output is bit-identical to the naive path.
+class ElevationSampler {
+ public:
+  /// `prop` must outlive the sampler.
+  ElevationSampler(const Sgp4& prop, const Geodetic& observer)
+      : prop_(&prop), frame_(observer) {}
+
+  /// Elevation (deg) of the satellite above the observer's horizon.
+  [[nodiscard]] double elevation_deg(JulianDate jd) const;
+
+  /// Full geometry sample (look angles + subsatellite point).
+  [[nodiscard]] PassSample sample(JulianDate jd) const;
+
+  [[nodiscard]] const Sgp4& propagator() const noexcept { return *prop_; }
+
+ private:
+  const Sgp4* prop_;
+  TopocentricFrame frame_;
+};
+
 /// Geometry of a satellite at a given instant, as seen from `observer`.
 [[nodiscard]] PassSample sample_geometry(const Sgp4& prop,
                                          const Geodetic& observer,
@@ -50,6 +81,91 @@ struct PassPredictionOptions {
 [[nodiscard]] std::vector<ContactWindow> predict_passes(
     const Sgp4& prop, const Geodetic& observer, JulianDate jd_start,
     JulianDate jd_end, const PassPredictionOptions& opts = {});
+
+/// One (satellite, ground site) pair of a batch prediction.
+struct PassBatchRequest {
+  const Sgp4* propagator = nullptr;  ///< must outlive the batch call
+  Geodetic observer;
+};
+
+/// Predict every request's windows over the same span.
+///
+/// Requests are independent, so they fan out across a fixed-size thread
+/// pool (sim::ThreadPool); results come back in input order and are
+/// byte-identical to calling predict_passes serially per request.
+///
+/// `threads` semantics: 0 = all hardware threads (the process-wide shared
+/// pool), 1 = exact legacy path (serial loop on the calling thread, no
+/// pool), N > 1 = N workers.
+[[nodiscard]] std::vector<std::vector<ContactWindow>> predict_passes_batch(
+    const std::vector<PassBatchRequest>& requests, JulianDate jd_start,
+    JulianDate jd_end, const PassPredictionOptions& opts = {},
+    unsigned threads = 0);
+
+/// Memoizes predicted windows per satellite.
+///
+/// Key = (TLE epoch + orbital elements, observer, span, prediction
+/// options), all compared exactly — a cache hit can only return windows
+/// an identical computation would have produced. The campaign drivers
+/// (run_passive_campaign, constellation_windows, per_satellite_daily_hours)
+/// repeatedly re-derive the same windows for the same satellite/site/span;
+/// this cache collapses those recomputations. Thread-safe; bounded FIFO.
+class ContactWindowCache {
+ public:
+  explicit ContactWindowCache(std::size_t max_entries = 4096)
+      : max_entries_(max_entries) {}
+
+  /// Return the cached windows for (tle, observer, span, opts), computing
+  /// and inserting them on a miss.
+  [[nodiscard]] std::vector<ContactWindow> get_or_predict(
+      const Tle& tle, const Geodetic& observer, JulianDate jd_start,
+      JulianDate jd_end, const PassPredictionOptions& opts = {});
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  void clear();
+
+  /// Process-wide cache used by the core campaign drivers.
+  [[nodiscard]] static ContactWindowCache& global();
+
+ private:
+  // Epoch + elements + observer + span + options, compared exactly.
+  using Key = std::array<double, 16>;
+  static Key make_key(const Tle& tle, const Geodetic& observer,
+                      JulianDate jd_start, JulianDate jd_end,
+                      const PassPredictionOptions& opts);
+
+  friend std::vector<std::vector<ContactWindow>> predict_passes_batch_cached(
+      const std::vector<Tle>& tles, const Geodetic& observer,
+      JulianDate jd_start, JulianDate jd_end,
+      const PassPredictionOptions& opts, unsigned threads,
+      ContactWindowCache* cache);
+
+  void insert(const Key& key, const std::vector<ContactWindow>& windows);
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::vector<ContactWindow>> entries_;
+  std::deque<Key> insertion_order_;  // FIFO eviction
+  std::size_t max_entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Per-TLE windows over one site, served from `cache` where possible and
+/// batch-predicted (see predict_passes_batch) for the misses. Results in
+/// input (TLE) order. Pass cache = nullptr to bypass caching entirely.
+[[nodiscard]] std::vector<std::vector<ContactWindow>>
+predict_passes_batch_cached(const std::vector<Tle>& tles,
+                            const Geodetic& observer, JulianDate jd_start,
+                            JulianDate jd_end,
+                            const PassPredictionOptions& opts = {},
+                            unsigned threads = 0,
+                            ContactWindowCache* cache =
+                                &ContactWindowCache::global());
 
 /// Sample look angles along a window at `step_s` spacing (inclusive ends).
 [[nodiscard]] std::vector<PassSample> sample_pass(const Sgp4& prop,

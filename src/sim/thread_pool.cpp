@@ -1,0 +1,95 @@
+#include "sim/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <utility>
+
+namespace sinet::sim {
+
+ThreadPool::ThreadPool(unsigned thread_count) {
+  if (thread_count == 0) thread_count = hardware_threads();
+  workers_.reserve(thread_count);
+  for (unsigned i = 0; i < thread_count; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1) {  // nothing to fan out; avoid the queue round trip
+    body(0);
+    return;
+  }
+
+  // Completion latch + per-index exception slots (rethrow lowest index so
+  // failures are reproducible regardless of worker interleaving).
+  struct State {
+    std::mutex m;
+    std::condition_variable done_cv;
+    std::size_t remaining;
+    std::vector<std::exception_ptr> errors;
+  };
+  auto state = std::make_shared<State>();
+  state->remaining = n;
+  state->errors.assign(n, nullptr);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([state, &body, i] {
+      try {
+        body(i);
+      } catch (...) {
+        state->errors[i] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state->m);
+      if (--state->remaining == 0) state->done_cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state->m);
+  state->done_cv.wait(lock, [&] { return state->remaining == 0; });
+  for (const std::exception_ptr& e : state->errors)
+    if (e) std::rethrow_exception(e);
+}
+
+unsigned ThreadPool::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(hardware_threads());
+  return pool;
+}
+
+}  // namespace sinet::sim

@@ -1,0 +1,65 @@
+// Fixed-size thread pool for embarrassingly parallel fan-out.
+//
+// The hot loops of the reproduction (pass prediction over a full
+// (site x constellation x satellite) campaign) are independent per task,
+// so a deliberately simple design wins: one shared FIFO queue guarded by
+// a mutex, a fixed set of workers, no work stealing. Determinism is the
+// caller's job — tasks write into pre-sized slots indexed by input
+// position, so results never depend on scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sinet::sim {
+
+class ThreadPool {
+ public:
+  /// Spawn `thread_count` workers; 0 means hardware_threads().
+  explicit ThreadPool(unsigned thread_count = 0);
+  /// Drains the queue (pending tasks still run), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue one task. Tasks must not throw out of the pool unobserved;
+  /// prefer parallel_for, which captures and rethrows exceptions.
+  void submit(std::function<void()> task);
+
+  /// Run body(0..n-1) across the workers and block until every index has
+  /// finished. Results are deterministic as long as body(i) only writes
+  /// state owned by index i. The first exception thrown by any body (in
+  /// index order) is rethrown on the calling thread after all indices
+  /// complete or are abandoned.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  [[nodiscard]] static unsigned hardware_threads() noexcept;
+
+  /// Lazily-constructed process-wide pool with hardware_threads() workers.
+  /// Shared by every batch API so nested fan-outs reuse one set of
+  /// threads instead of oversubscribing the machine.
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace sinet::sim

@@ -138,6 +138,28 @@ TEST(Passes, SamplePassCoversWindow) {
                std::invalid_argument);
 }
 
+TEST(Passes, SamplePassExactMultipleHasNoDuplicateTerminal) {
+  const Tle tle = polar_tle();
+  const Sgp4 prop(tle);
+  const auto windows =
+      predict_passes(prop, kHongKong, tle.epoch_jd, tle.epoch_jd + 1.0);
+  ASSERT_FALSE(windows.empty());
+
+  // Force a window whose duration is an exact multiple of the step: the
+  // grid's last point coincides with LOS and must not be emitted twice.
+  const double step_s = 5.0;
+  ContactWindow w = windows[0];
+  w.los_jd = w.aos_jd + (100.0 * step_s) / kSecondsPerDay;
+  const auto samples = sample_pass(prop, kHongKong, w, step_s);
+  EXPECT_EQ(samples.size(), 101u);
+  EXPECT_NEAR(samples.front().jd, w.aos_jd, 1e-12);
+  EXPECT_NEAR(samples.back().jd, w.los_jd, 1e-12);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const double dt_s = (samples[i].jd - samples[i - 1].jd) * kSecondsPerDay;
+    EXPECT_GT(dt_s, 0.5 * step_s) << "near-duplicate sample at i=" << i;
+  }
+}
+
 TEST(MergeWindows, OverlapsMerge) {
   std::vector<ContactWindow> ws(3);
   ws[0] = {100.0, 100.01, 100.005, 30.0};

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Run the bench binaries and collect their google-benchmark timings into
+# BENCH_RESULTS.json so the perf trajectory is tracked across PRs.
+#
+# Usage:
+#   tools/run_benchmarks.sh [build-dir] [bench-name ...]
+#
+#   build-dir   defaults to ./build
+#   bench-name  zero or more bench binary names (e.g. bench_fig3a_presence);
+#               default is every bench_* binary in <build-dir>/bench.
+#
+# Each binary prints its paper-vs-measured reproduction to stdout and
+# writes its timings via --benchmark_out (JSON stays clean even though the
+# reproduction text shares stdout). Per-binary JSON lands in
+# bench-results/, the merged file in BENCH_RESULTS.json at the repo root.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+bench_dir="$build_dir/bench"
+if [[ ! -d "$bench_dir" ]]; then
+  echo "error: $bench_dir not found — build first (cmake -B build && cmake --build build)" >&2
+  exit 1
+fi
+
+benches=("$@")
+if [[ ${#benches[@]} -eq 0 ]]; then
+  for b in "$bench_dir"/bench_*; do
+    [[ -x "$b" ]] && benches+=("$(basename "$b")")
+  done
+fi
+
+out_dir="$repo_root/bench-results"
+mkdir -p "$out_dir"
+
+for name in "${benches[@]}"; do
+  bin="$bench_dir/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "warning: $name not built, skipping" >&2
+    continue
+  fi
+  echo "== $name"
+  "$bin" --benchmark_out="$out_dir/$name.json" \
+         --benchmark_out_format=json
+done
+
+# Merge: { "<bench binary>": <google-benchmark JSON>, ... }
+python3 - "$out_dir" "$repo_root/BENCH_RESULTS.json" <<'PY'
+import json, pathlib, sys
+
+out_dir, merged_path = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
+merged = {}
+for f in sorted(out_dir.glob("bench_*.json")):
+    with open(f) as fh:
+        merged[f.stem] = json.load(fh)
+with open(merged_path, "w") as fh:
+    json.dump(merged, fh, indent=1, sort_keys=True)
+    fh.write("\n")
+print(f"wrote {merged_path} ({len(merged)} benches)")
+PY
