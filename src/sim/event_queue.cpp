@@ -1,6 +1,5 @@
 #include "sim/event_queue.h"
 
-#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -13,7 +12,7 @@ EventHandle EventQueue::schedule_at(SimTime t, Callback cb) {
   const EventHandle h = next_seq_;
   heap_.push(Entry{t, next_seq_, h, std::move(cb)});
   ++next_seq_;
-  ++live_;
+  pending_.insert(h);
   return h;
 }
 
@@ -24,51 +23,35 @@ EventHandle EventQueue::schedule_in(SimTime delay, Callback cb) {
 }
 
 bool EventQueue::cancel(EventHandle h) {
-  if (h == kInvalidEvent || h >= next_seq_) return false;
-  if (is_cancelled(h)) return false;
-  cancelled_.push_back(h);
-  if (live_ > 0) --live_;
+  // Only a handle that is still pending may be cancelled: fired, unknown,
+  // and double-cancelled handles all leave the queue state untouched, so
+  // empty()/pending() can never report fewer events than the heap holds.
+  if (pending_.erase(h) == 0) return false;
+  cancelled_.insert(h);
   return true;
 }
 
-bool EventQueue::is_cancelled(EventHandle h) {
-  return std::find(cancelled_.begin(), cancelled_.end(), h) !=
-         cancelled_.end();
+void EventQueue::purge_cancelled_top() const {
+  while (!heap_.empty() && cancelled_.erase(heap_.top().handle) > 0)
+    heap_.pop();
 }
 
-bool EventQueue::empty() const noexcept { return live_ == 0; }
-
 SimTime EventQueue::peek_time() const {
-  // Const view: skip tombstoned entries without popping. The heap top is
-  // the earliest entry; tombstones are purged in step(), so we conservatively
-  // report the top entry's time (a cancelled top is purged on next step).
-  auto* self = const_cast<EventQueue*>(this);
-  while (!self->heap_.empty() &&
-         self->is_cancelled(self->heap_.top().handle)) {
-    self->heap_.pop();
-  }
-  if (self->heap_.empty())
+  purge_cancelled_top();
+  if (heap_.empty())
     throw std::logic_error("EventQueue: peek_time on empty queue");
-  return self->heap_.top().time;
+  return heap_.top().time;
 }
 
 bool EventQueue::step() {
-  while (!heap_.empty()) {
-    if (is_cancelled(heap_.top().handle)) {
-      heap_.pop();
-      continue;
-    }
-    Entry e = heap_.top();
-    heap_.pop();
-    --live_;
-    now_ = e.time;
-    // Opportunistically clear tombstones once the heap drains.
-    if (heap_.empty()) cancelled_.clear();
-    e.cb();
-    return true;
-  }
-  cancelled_.clear();
-  return false;
+  purge_cancelled_top();
+  if (heap_.empty()) return false;
+  Entry e = heap_.top();
+  heap_.pop();
+  pending_.erase(e.handle);
+  now_ = e.time;
+  e.cb();
+  return true;
 }
 
 std::size_t EventQueue::run_until(SimTime until) {

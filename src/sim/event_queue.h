@@ -3,11 +3,18 @@
 // Events are ordered by (time, insertion sequence) so that equal-time
 // events fire in schedule order — a requirement for reproducible protocol
 // simulations across platforms and STL implementations.
+//
+// Cancellation is lazy: cancel() tombstones the handle in O(1) and the
+// heap entry is discarded when it reaches the top. The pending-handle set
+// is the source of truth for liveness, so cancel() on an already-fired or
+// unknown handle is a strict no-op (it cannot desynchronize empty() /
+// pending() from the heap contents).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace sinet::sim {
@@ -29,12 +36,15 @@ class EventQueue {
   /// Schedule `cb` `delay` seconds from now (delay >= 0).
   EventHandle schedule_in(SimTime delay, Callback cb);
 
-  /// Lazily cancel a pending event. Cancelling an already-fired or unknown
-  /// handle is a harmless no-op. Returns true if the event was pending.
+  /// Lazily cancel a pending event. Cancelling an already-fired,
+  /// already-cancelled, or unknown handle is a harmless no-op that
+  /// returns false. Returns true iff the event was pending.
   bool cancel(EventHandle h);
 
-  [[nodiscard]] bool empty() const noexcept;
-  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.size();
+  }
   [[nodiscard]] SimTime now() const noexcept { return now_; }
   /// Time of the next live event; throws std::logic_error when empty.
   [[nodiscard]] SimTime peek_time() const;
@@ -61,13 +71,16 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::vector<EventHandle> cancelled_;  // sorted-on-demand tombstones
+  /// Drop cancelled entries sitting at the top of the heap. Logically
+  /// const: only tombstoned garbage is removed, never a live event.
+  void purge_cancelled_top() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+      heap_;
+  mutable std::unordered_set<EventHandle> cancelled_;  // O(1) tombstones
+  std::unordered_set<EventHandle> pending_;  // scheduled, not fired/cancelled
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
-  std::size_t live_ = 0;
-
-  bool is_cancelled(EventHandle h);
 };
 
 }  // namespace sinet::sim

@@ -1,10 +1,18 @@
 #include "sim/thread_pool.h"
 
-#include <atomic>
 #include <exception>
+#include <memory>
 #include <utility>
 
 namespace sinet::sim {
+
+namespace {
+// Which pool (if any) owns the current thread. Lets parallel_for detect a
+// nested call from one of its own workers and switch from blocking on the
+// completion latch (which would deadlock a fully-busy pool) to helping
+// drain the queue.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned thread_count) {
   if (thread_count == 0) thread_count = hardware_threads();
@@ -30,7 +38,12 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+bool ThreadPool::on_worker_thread() const noexcept {
+  return t_worker_pool == this;
+}
+
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -44,6 +57,18 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::try_run_one_task() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();
+  return true;
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
@@ -53,21 +78,25 @@ void ThreadPool::parallel_for(std::size_t n,
   }
 
   // Completion latch + per-index exception slots (rethrow lowest index so
-  // failures are reproducible regardless of worker interleaving).
+  // failures are reproducible regardless of worker interleaving). The body
+  // is copied into the shared state so queued tasks never dangle if the
+  // caller's reference dies first.
   struct State {
     std::mutex m;
     std::condition_variable done_cv;
     std::size_t remaining;
     std::vector<std::exception_ptr> errors;
+    std::function<void(std::size_t)> body;
   };
   auto state = std::make_shared<State>();
   state->remaining = n;
   state->errors.assign(n, nullptr);
+  state->body = body;
 
   for (std::size_t i = 0; i < n; ++i) {
-    submit([state, &body, i] {
+    submit([state, i] {
       try {
-        body(i);
+        state->body(i);
       } catch (...) {
         state->errors[i] = std::current_exception();
       }
@@ -76,8 +105,27 @@ void ThreadPool::parallel_for(std::size_t n,
     });
   }
 
-  std::unique_lock<std::mutex> lock(state->m);
-  state->done_cv.wait(lock, [&] { return state->remaining == 0; });
+  if (on_worker_thread()) {
+    // Nested call: this worker is the thread that would run the queued
+    // tasks, so blocking on done_cv could wait forever (it always does on
+    // a 1-thread pool). Help drain the queue instead; once it is empty,
+    // every task of ours is either done or in flight on another worker,
+    // and waiting on the latch is safe.
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(state->m);
+        if (state->remaining == 0) break;
+      }
+      if (try_run_one_task()) continue;
+      std::unique_lock<std::mutex> lock(state->m);
+      state->done_cv.wait(lock, [&] { return state->remaining == 0; });
+      break;
+    }
+  } else {
+    std::unique_lock<std::mutex> lock(state->m);
+    state->done_cv.wait(lock, [&] { return state->remaining == 0; });
+  }
+
   for (const std::exception_ptr& e : state->errors)
     if (e) std::rethrow_exception(e);
 }

@@ -6,6 +6,11 @@
 // a mutex, a fixed set of workers, no work stealing. Determinism is the
 // caller's job — tasks write into pre-sized slots indexed by input
 // position, so results never depend on scheduling order.
+//
+// parallel_for is nesting-safe: a worker thread that calls parallel_for
+// on its own pool helps drain the task queue instead of blocking, so
+// nested fan-outs complete even on a 1-thread pool (the `threads=1`
+// exact-legacy mode).
 #pragma once
 
 #include <condition_variable>
@@ -40,9 +45,13 @@ class ThreadPool {
   /// finished. Results are deterministic as long as body(i) only writes
   /// state owned by index i. The first exception thrown by any body (in
   /// index order) is rethrown on the calling thread after all indices
-  /// complete or are abandoned.
+  /// complete or are abandoned. Safe to call from inside a pool task:
+  /// the calling worker executes queued tasks while it waits.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& body);
+
+  /// True when the calling thread is one of this pool's workers.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
 
   /// std::thread::hardware_concurrency with a floor of 1.
   [[nodiscard]] static unsigned hardware_threads() noexcept;
@@ -54,6 +63,8 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Pop one task if available and run it outside the lock.
+  bool try_run_one_task();
 
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <utility>
 
 namespace sinet::stats {
 
@@ -13,20 +14,60 @@ EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
 EmpiricalCdf::EmpiricalCdf(std::initializer_list<double> samples)
     : samples_(samples), sorted_(false) {}
 
+EmpiricalCdf::EmpiricalCdf(const EmpiricalCdf& other) {
+  // Sorting the source first means the copy never races with a concurrent
+  // lazy sort of `other` and starts life already sorted.
+  other.ensure_sorted();
+  samples_ = other.samples_;
+  sorted_.store(true, std::memory_order_relaxed);
+}
+
+EmpiricalCdf& EmpiricalCdf::operator=(const EmpiricalCdf& other) {
+  if (this != &other) {
+    other.ensure_sorted();
+    samples_ = other.samples_;
+    sorted_.store(true, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+EmpiricalCdf::EmpiricalCdf(EmpiricalCdf&& other) noexcept
+    : samples_(std::move(other.samples_)),
+      sorted_(other.sorted_.load(std::memory_order_relaxed)) {
+  other.samples_.clear();
+  other.sorted_.store(true, std::memory_order_relaxed);
+}
+
+EmpiricalCdf& EmpiricalCdf::operator=(EmpiricalCdf&& other) noexcept {
+  if (this != &other) {
+    samples_ = std::move(other.samples_);
+    sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    other.samples_.clear();
+    other.sorted_.store(true, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 void EmpiricalCdf::add(double x) {
   samples_.push_back(x);
-  sorted_ = false;
+  sorted_.store(false, std::memory_order_release);
 }
 
 void EmpiricalCdf::add(std::span<const double> xs) {
   samples_.insert(samples_.end(), xs.begin(), xs.end());
-  sorted_ = false;
+  sorted_.store(false, std::memory_order_release);
 }
 
 void EmpiricalCdf::ensure_sorted() const {
-  if (!sorted_) {
+  // Double-checked: the fast path is one acquire load, so concurrent
+  // queries from pool workers only contend on the very first call after a
+  // mutation. The release store publishes the sorted samples_ to readers.
+  if (sorted_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(sort_mutex_);
+  if (!sorted_.load(std::memory_order_relaxed)) {
     std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+    sorted_.store(true, std::memory_order_release);
   }
 }
 

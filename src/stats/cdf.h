@@ -3,10 +3,18 @@
 // The paper reports most results as CDFs (Figs 3b, 3c, 4a, 4b, 5b, 5c, 8,
 // 12a, 12b). This type collects samples and answers quantile / CDF queries
 // with linear interpolation between order statistics.
+//
+// Thread safety: concurrent const accessors (quantile, fraction_*, curve,
+// sorted_samples, describe) are safe — the lazy sort is guarded by a
+// mutex behind a double-checked atomic flag, so pool workers can query one
+// shared CDF without racing. Mutation (add) is not safe concurrently with
+// readers or other writers; collect first, then query.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <initializer_list>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,6 +26,13 @@ class EmpiricalCdf {
   EmpiricalCdf() = default;
   explicit EmpiricalCdf(std::span<const double> samples);
   EmpiricalCdf(std::initializer_list<double> samples);
+
+  // The sort mutex/flag make the type non-trivially copyable; copies carry
+  // the samples (result structs holding CDFs are returned by value).
+  EmpiricalCdf(const EmpiricalCdf& other);
+  EmpiricalCdf& operator=(const EmpiricalCdf& other);
+  EmpiricalCdf(EmpiricalCdf&& other) noexcept;
+  EmpiricalCdf& operator=(EmpiricalCdf&& other) noexcept;
 
   void add(double x);
   void add(std::span<const double> xs);
@@ -53,7 +68,8 @@ class EmpiricalCdf {
   void ensure_sorted() const;
 
   mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  mutable std::atomic<bool> sorted_{true};
+  mutable std::mutex sort_mutex_;
 };
 
 }  // namespace sinet::stats

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <istream>
+#include <ostream>
 #include <stdexcept>
 #include <string>
 
@@ -24,6 +25,21 @@ double to_double(const std::string& s, std::size_t line_no) {
 
 int to_int(const std::string& s, std::size_t line_no) {
   return static_cast<int>(to_double(s, line_no));
+}
+
+/// Fixed-precision double for streaming. Keeps the printf-style rounding
+/// the readers expect while letting string fields of any length stream
+/// directly (a whole-row snprintf into char[256] silently truncated rows
+/// with long station/satellite names).
+struct Fixed {
+  double v;
+  int prec;
+};
+
+std::ostream& operator<<(std::ostream& os, Fixed f) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", f.prec, f.v);
+  return os << buf;
 }
 
 }  // namespace
@@ -137,16 +153,14 @@ void write_beacon_csv(std::ostream& os, const std::vector<BeaconRecord>& rs) {
   os << "time_unix_s,station,constellation,satellite,rssi_dbm,snr_db,"
         "elevation_deg,azimuth_deg,range_km,doppler_hz,sat_altitude_km,"
         "weather\n";
-  char buf[256];
   for (const BeaconRecord& r : rs) {
-    std::snprintf(buf, sizeof(buf),
-                  "%.3f,%s,%s,%s,%.1f,%.1f,%.2f,%.2f,%.1f,%.1f,%.1f,%s\n",
-                  r.time_unix_s, csv_escape(r.station).c_str(),
-                  csv_escape(r.constellation).c_str(),
-                  csv_escape(r.satellite).c_str(), r.rssi_dbm, r.snr_db,
-                  r.elevation_deg, r.azimuth_deg, r.range_km, r.doppler_hz,
-                  r.sat_altitude_km, csv_escape(r.weather).c_str());
-    os << buf;
+    os << Fixed{r.time_unix_s, 3} << ',' << csv_escape(r.station) << ','
+       << csv_escape(r.constellation) << ',' << csv_escape(r.satellite)
+       << ',' << Fixed{r.rssi_dbm, 1} << ',' << Fixed{r.snr_db, 1} << ','
+       << Fixed{r.elevation_deg, 2} << ',' << Fixed{r.azimuth_deg, 2}
+       << ',' << Fixed{r.range_km, 1} << ',' << Fixed{r.doppler_hz, 1}
+       << ',' << Fixed{r.sat_altitude_km, 1} << ','
+       << csv_escape(r.weather) << '\n';
   }
 }
 
@@ -154,16 +168,14 @@ void write_uplink_csv(std::ostream& os, const std::vector<UplinkRecord>& rs) {
   os << "sequence,node,payload_bytes,generated_unix_s,first_tx_unix_s,"
         "satellite_rx_unix_s,server_rx_unix_s,dts_attempts,delivered,"
         "via_satellite\n";
-  char buf[256];
   for (const UplinkRecord& r : rs) {
-    std::snprintf(buf, sizeof(buf),
-                  "%llu,%s,%d,%.3f,%.3f,%.3f,%.3f,%d,%d,%s\n",
-                  static_cast<unsigned long long>(r.sequence),
-                  csv_escape(r.node).c_str(), r.payload_bytes,
-                  r.generated_unix_s, r.first_tx_unix_s, r.satellite_rx_unix_s,
-                  r.server_rx_unix_s, r.dts_attempts, r.delivered ? 1 : 0,
-                  csv_escape(r.via_satellite).c_str());
-    os << buf;
+    os << r.sequence << ',' << csv_escape(r.node) << ',' << r.payload_bytes
+       << ',' << Fixed{r.generated_unix_s, 3} << ','
+       << Fixed{r.first_tx_unix_s, 3} << ','
+       << Fixed{r.satellite_rx_unix_s, 3} << ','
+       << Fixed{r.server_rx_unix_s, 3} << ',' << r.dts_attempts << ','
+       << (r.delivered ? 1 : 0) << ',' << csv_escape(r.via_satellite)
+       << '\n';
   }
 }
 

@@ -166,6 +166,62 @@ TEST(CsvReader, RejectsMalformedInput) {
   EXPECT_THROW(read_uplink_csv(bad_number), std::invalid_argument);
 }
 
+// Regression: the writers used to snprintf whole rows into char[256], so
+// long station/satellite names silently truncated the row (the reader then
+// failed or, worse, parsed shifted columns). Rows of any length must
+// round-trip exactly, including quoted fields inside the long names.
+TEST(CsvWriter, RowsLongerThan256BytesRoundTrip) {
+  const std::string long_station =
+      "station-\"east,ridge\"-" + std::string(300, 'S');
+  const std::string long_sat = "sat," + std::string(280, 'Z') + ",tail";
+
+  BeaconRecord b;
+  b.time_unix_s = 1234.5;
+  b.station = long_station;
+  b.constellation = "Tianqi";
+  b.satellite = long_sat;
+  b.rssi_dbm = -121.5;
+  b.snr_db = -7.25;
+  b.elevation_deg = 42.5;
+  b.azimuth_deg = 181.25;
+  b.range_km = 950.5;
+  b.doppler_hz = -18000.5;
+  b.sat_altitude_km = 870.5;
+  b.weather = "light rain, gusty";
+  std::ostringstream bos;
+  write_beacon_csv(bos, {b});
+  std::istringstream bis(bos.str());
+  const auto beacons = read_beacon_csv(bis);
+  ASSERT_EQ(beacons.size(), 1u);
+  EXPECT_EQ(beacons[0].station, long_station);
+  EXPECT_EQ(beacons[0].satellite, long_sat);
+  EXPECT_EQ(beacons[0].weather, "light rain, gusty");
+  EXPECT_NEAR(beacons[0].time_unix_s, 1234.5, 1e-3);
+  EXPECT_NEAR(beacons[0].doppler_hz, -18000.5, 0.1);
+
+  UplinkRecord u;
+  u.sequence = 900719925474099;
+  u.node = "node-" + std::string(400, 'N') + ",with,commas";
+  u.payload_bytes = 50;
+  u.generated_unix_s = 1700000000.125;
+  u.first_tx_unix_s = 1700000060.25;
+  u.satellite_rx_unix_s = 1700000061.5;
+  u.server_rx_unix_s = 1700000500.75;
+  u.dts_attempts = 2;
+  u.delivered = true;
+  u.via_satellite = "Tianqi-\"05\"";
+  std::ostringstream uos;
+  write_uplink_csv(uos, {u});
+  std::istringstream uis(uos.str());
+  const auto uplinks = read_uplink_csv(uis);
+  ASSERT_EQ(uplinks.size(), 1u);
+  EXPECT_EQ(uplinks[0].node, u.node);
+  EXPECT_EQ(uplinks[0].via_satellite, "Tianqi-\"05\"");
+  EXPECT_EQ(uplinks[0].sequence, u.sequence);
+  EXPECT_NEAR(uplinks[0].server_rx_unix_s, 1700000500.75, 1e-2);
+  EXPECT_TRUE(uplinks[0].delivered);
+}
+
 TEST(CsvWriter, EmptyVectorsProduceHeaderOnly) {
   std::ostringstream os1, os2;
   write_beacon_csv(os1, {});

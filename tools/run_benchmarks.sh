@@ -31,6 +31,10 @@ if [[ ${#benches[@]} -eq 0 ]]; then
     [[ -x "$b" ]] && benches+=("$(basename "$b")")
   done
 fi
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "error: no bench_* binaries in $bench_dir — build first" >&2
+  exit 1
+fi
 
 out_dir="$repo_root/bench-results"
 mkdir -p "$out_dir"
@@ -38,8 +42,8 @@ mkdir -p "$out_dir"
 for name in "${benches[@]}"; do
   bin="$bench_dir/$name"
   if [[ ! -x "$bin" ]]; then
-    echo "warning: $name not built, skipping" >&2
-    continue
+    echo "error: $name not built (expected $bin)" >&2
+    exit 1
   fi
   echo "== $name"
   "$bin" --benchmark_out="$out_dir/$name.json" \
