@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <vector>
 
 #include "core/active_experiment.h"
 #include "core/availability.h"
@@ -21,6 +22,8 @@
 #include "core/passive_campaign.h"
 #include "core/report.h"
 #include "cost/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 #include "orbit/tle_catalog.h"
 #include "trace/csv.h"
 
@@ -29,16 +32,25 @@ using namespace sinet::core;
 
 namespace {
 
+// Run-metrics sink for the current invocation; null unless --metrics was
+// given. Subcommands thread it into the driver configs.
+obs::MetricsRegistry* g_metrics = nullptr;
+
 int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
+      "  sinet [--metrics <out.json>] <subcommand> ...\n"
       "  sinet passes <lat> <lon> [constellation=Tianqi] [hours=24]\n"
       "  sinet availability <lat>\n"
       "  sinet campaign <site-code|all> <days> <out.csv>\n"
       "  sinet active <days>\n"
       "  sinet cost <sensors> <gateways>\n"
-      "  sinet tle <file.tle> <lat> <lon>\n");
+      "  sinet tle <file.tle> <lat> <lon>\n"
+      "\n"
+      "  --metrics <out.json>  write a structured run report (event-queue,\n"
+      "                        thread-pool, pass-cache and campaign\n"
+      "                        counters) after the subcommand finishes\n");
   return 2;
 }
 
@@ -48,7 +60,8 @@ void print_passes(const std::vector<orbit::Tle>& catalog,
   Table t({"Satellite", "AOS (UTC)", "duration (min)", "max elev"});
   std::size_t count = 0;
   const auto all_windows = orbit::predict_passes_batch_cached(
-      catalog, where, start, start + hours / 24.0);
+      catalog, where, start, start + hours / 24.0, {}, 0,
+      &orbit::ContactWindowCache::global(), g_metrics);
   for (std::size_t i = 0; i < catalog.size(); ++i) {
     const orbit::Tle& tle = catalog[i];
     for (const auto& w : all_windows[i]) {
@@ -86,6 +99,7 @@ int cmd_availability(int argc, char** argv) {
   site.location = {std::atof(argv[2]), 114.0, 0.0};
   AvailabilityOptions opts;
   opts.duration_days = 2.0;
+  opts.metrics = g_metrics;
   Table t({"Constellation", "# sats", "daily presence (h)"});
   for (const auto& spec : orbit::paper_constellations())
     t.add_row({spec.name, std::to_string(spec.total_satellites()),
@@ -99,6 +113,7 @@ int cmd_availability(int argc, char** argv) {
 int cmd_campaign(int argc, char** argv) {
   if (argc < 5) return usage();
   PassiveCampaignConfig cfg = default_campaign(std::atof(argv[3]));
+  cfg.metrics = g_metrics;
   if (std::strcmp(argv[2], "all") != 0) cfg.sites = {paper_site(argv[2])};
   const PassiveCampaignResult res = run_passive_campaign(cfg);
   std::ofstream out(argv[4]);
@@ -119,6 +134,7 @@ int cmd_active(int argc, char** argv) {
   if (argc < 3) return usage();
   ActiveExperimentKnobs knobs;
   knobs.duration_days = std::atof(argv[2]);
+  knobs.metrics = g_metrics;
   const ActiveComparison cmp = run_active_comparison(knobs);
   const auto rel =
       summarize_reliability(cmp.satellite.uplinks, cmp.run_end_unix_s);
@@ -181,18 +197,48 @@ int cmd_tle(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the global --metrics flag before subcommand dispatch so every
+  // subcommand keeps its positional argument layout.
+  std::vector<char*> args(argv, argv + argc);
+  std::string metrics_path;
+  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+    if (std::strcmp(args[i], "--metrics") == 0) {
+      metrics_path = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      break;
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   if (argc < 2) return usage();
+
+  obs::MetricsRegistry registry;
+  if (!metrics_path.empty()) g_metrics = &registry;
+
   const std::string cmd = argv[1];
+  int rc = 2;
   try {
-    if (cmd == "passes") return cmd_passes(argc, argv);
-    if (cmd == "availability") return cmd_availability(argc, argv);
-    if (cmd == "campaign") return cmd_campaign(argc, argv);
-    if (cmd == "active") return cmd_active(argc, argv);
-    if (cmd == "cost") return cmd_cost(argc, argv);
-    if (cmd == "tle") return cmd_tle(argc, argv);
+    if (cmd == "passes") rc = cmd_passes(argc, argv);
+    else if (cmd == "availability") rc = cmd_availability(argc, argv);
+    else if (cmd == "campaign") rc = cmd_campaign(argc, argv);
+    else if (cmd == "active") rc = cmd_active(argc, argv);
+    else if (cmd == "cost") rc = cmd_cost(argc, argv);
+    else if (cmd == "tle") rc = cmd_tle(argc, argv);
+    else return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  return usage();
+
+  if (g_metrics != nullptr && rc == 0) {
+    registry.set_info("tool", "sinet_cli");
+    registry.set_info("command", cmd);
+    if (obs::write_json_file(metrics_path, registry.snapshot()))
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    else
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   metrics_path.c_str());
+  }
+  return rc;
 }

@@ -118,6 +118,7 @@ net::DtsNetworkConfig make_active_config(const ActiveExperimentKnobs& knobs) {
       campaign_epoch_jd(), knobs.duration_days);
   cfg.seed = knobs.seed;
   cfg.daily_weather = knobs.daily_weather;
+  cfg.metrics = knobs.metrics;
   for (net::IotNodeConfig& node : cfg.nodes) {
     node.max_retransmissions = knobs.max_retransmissions;
     node.antenna = knobs.antenna;

@@ -13,6 +13,10 @@
 #include "net/lorawan.h"
 #include "stats/cdf.h"
 
+namespace sinet::obs {
+class MetricsRegistry;
+}  // namespace sinet::obs
+
 namespace sinet::core {
 
 /// Reliability over reports that had a fair chance of delivery: reports
@@ -83,6 +87,9 @@ struct ActiveExperimentKnobs {
   /// Weather at the farm for each day, cycled; empty = sunny.
   std::vector<channel::Weather> daily_weather;
   std::uint64_t seed = 42;
+  /// Optional run-metrics sink, forwarded to DtsNetworkConfig::metrics;
+  /// null disables instrumentation. Must outlive the run.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 [[nodiscard]] net::DtsNetworkConfig make_active_config(
     const ActiveExperimentKnobs& knobs);

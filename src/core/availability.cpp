@@ -17,7 +17,8 @@ std::vector<std::vector<orbit::ContactWindow>> per_tle_windows(
   return orbit::predict_passes_batch_cached(
       tles, site.location, start_jd, start_jd + opts.duration_days, popts,
       opts.threads,
-      opts.use_window_cache ? &orbit::ContactWindowCache::global() : nullptr);
+      opts.use_window_cache ? &orbit::ContactWindowCache::global() : nullptr,
+      opts.metrics);
 }
 
 std::vector<orbit::ContactWindow> windows_for_tles(

@@ -10,6 +10,10 @@
 #include "orbit/constellation.h"
 #include "orbit/passes.h"
 
+namespace sinet::obs {
+class MetricsRegistry;
+}  // namespace sinet::obs
+
 namespace sinet::core {
 
 struct AvailabilityOptions {
@@ -22,6 +26,10 @@ struct AvailabilityOptions {
   /// Serve repeated (satellite, site, span) predictions from the global
   /// orbit::ContactWindowCache instead of recomputing them.
   bool use_window_cache = true;
+  /// Optional run-metrics sink ("orbit.pass_cache.*" /
+  /// "orbit.pass_batch.*"); null disables instrumentation. Must outlive
+  /// the call.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Daily hours during which at least one satellite of `spec` is visible

@@ -8,10 +8,13 @@
 
 #include "channel/weather.h"
 #include "core/scheduler.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "orbit/sun.h"
 #include "orbit/look_angles.h"
 #include "phy/lora.h"
 #include "sim/rng.h"
+#include "sim/thread_pool.h"
 
 namespace sinet::core {
 
@@ -135,6 +138,12 @@ PassiveCampaignResult run_passive_campaign(const PassiveCampaignConfig& cfg) {
   pass_opts.min_elevation_deg = 0.0;
   pass_opts.coarse_step_s = cfg.pass_scan_step_s;
 
+  // Route the shared pool's task counters into this run's registry for
+  // the duration of the campaign (no-op when cfg.metrics is null).
+  sim::ThreadPool::MetricsScope pool_scope(sim::ThreadPool::shared(),
+                                           cfg.metrics);
+  obs::PhaseProfiler phases(cfg.metrics, "core.passive");
+
   for (const MeasurementSite& site : cfg.sites) {
     sim::Rng rng = rngs.make("passive-" + site.code);
 
@@ -149,6 +158,7 @@ PassiveCampaignResult run_passive_campaign(const PassiveCampaignConfig& cfg) {
 
     // Pass 1: predict every window, build per-satellite assets and the
     // full observation request list for the scheduler.
+    phases.phase("predict");
     std::map<std::string, SatelliteAsset> assets;
     std::vector<ObservationRequest> requests;
     for (const orbit::ConstellationSpec& constellation : cfg.constellations) {
@@ -166,7 +176,8 @@ PassiveCampaignResult run_passive_campaign(const PassiveCampaignConfig& cfg) {
       auto windows = orbit::predict_passes_batch_cached(
           tles, site.location, cfg.start_jd, end_jd, pass_opts, cfg.threads,
           cfg.use_window_cache ? &orbit::ContactWindowCache::global()
-                               : nullptr);
+                               : nullptr,
+          cfg.metrics);
 
       std::vector<SatelliteWindows> cell;
       for (std::size_t i = 0; i < tles.size(); ++i) {
@@ -187,6 +198,7 @@ PassiveCampaignResult run_passive_campaign(const PassiveCampaignConfig& cfg) {
     // Pass 2: assign windows to the site's stations — the customized
     // scheduler (paper Sec 2.2). Without it, an idealized site observes
     // every window on a round-robin station.
+    phases.phase("schedule");
     std::vector<ScheduledObservation> observations;
     if (cfg.use_scheduler) {
       observations = schedule_observations(requests, site.station_count,
@@ -202,9 +214,27 @@ PassiveCampaignResult run_passive_campaign(const PassiveCampaignConfig& cfg) {
                                                     observations.size()};
 
     // Pass 3: observe the scheduled windows.
+    phases.phase("observe");
     for (const ScheduledObservation& obs : observations)
       observe_window(cfg, site, obs, assets.at(obs.request.satellite),
                      weather, error_model, rng, result);
+  }
+  phases.stop();
+
+  if (cfg.metrics != nullptr) {
+    obs::MetricsRegistry& m = *cfg.metrics;
+    m.counter("core.passive.beacons_transmitted")
+        .add(result.beacons_transmitted);
+    m.counter("core.passive.beacons_received").add(result.beacons_received);
+    m.counter("core.passive.sites").add(cfg.sites.size());
+    std::uint64_t requested = 0;
+    std::uint64_t observed = 0;
+    for (const auto& [code, ro] : result.windows_requested_observed) {
+      requested += ro.first;
+      observed += ro.second;
+    }
+    m.counter("core.passive.windows_requested").add(requested);
+    m.counter("core.passive.windows_observed").add(observed);
   }
   return result;
 }

@@ -19,6 +19,10 @@
 #include "phy/link_budget.h"
 #include "trace/packet_trace.h"
 
+namespace sinet::obs {
+class MetricsRegistry;
+}  // namespace sinet::obs
+
 namespace sinet::core {
 
 struct PassiveCampaignConfig {
@@ -49,6 +53,12 @@ struct PassiveCampaignConfig {
   /// orbit::ContactWindowCache.
   bool use_window_cache = true;
   std::uint64_t seed = 1;
+  /// Optional run-metrics sink. When non-null the campaign records
+  /// pass-prediction ("orbit.pass_cache.*", "orbit.pass_batch.*"),
+  /// thread-pool ("sim.thread_pool.*") and campaign ("core.passive.*")
+  /// metrics into it; null (the default) disables instrumentation. Must
+  /// outlive run_passive_campaign().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Default configuration: all 8 sites, all 4 constellations, epoch

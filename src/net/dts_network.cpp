@@ -6,8 +6,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "orbit/frames.h"
 #include "sim/simulation.h"
+#include "sim/thread_pool.h"
 
 namespace sinet::net {
 
@@ -42,6 +45,7 @@ class Simulator {
         error_model_(cfg.error_model),
         backhaul_(cfg.delivery_backhaul) {
     validate();
+    sim_.attach_metrics(cfg_.metrics);
     build_satellites();
     build_nodes();
     predict_windows();
@@ -82,8 +86,8 @@ class Simulator {
   }
 
   void build_satellites() {
-    const std::vector<orbit::Tle> tles =
-        orbit::generate_tles(cfg_.constellation, cfg_.start_jd);
+    tles_ = orbit::generate_tles(cfg_.constellation, cfg_.start_jd);
+    const std::vector<orbit::Tle>& tles = tles_;
     satellites_.reserve(tles.size());
     for (const orbit::Tle& tle : tles) {
       satellites_.emplace_back(tle.name, cfg_.constellation.name, tle,
@@ -125,33 +129,28 @@ class Simulator {
         satellites_.size(),
         std::vector<std::vector<ContactWindow>>(cfg_.ground_stations.size()));
 
-    // Fan the (satellite x node-location) pairs out as one batch, then
-    // one batch per ground station (each station carries its own
-    // elevation mask). Results come back in input order, so the window
-    // tables are identical to the serial loops.
-    std::vector<orbit::PassBatchRequest> node_requests;
-    node_requests.reserve(satellites_.size() * locations_.size());
-    for (std::size_t s = 0; s < satellites_.size(); ++s)
-      for (std::size_t l = 0; l < locations_.size(); ++l)
-        node_requests.push_back(
-            {&satellites_[s].propagator, locations_[l]});
-    auto node_windows = orbit::predict_passes_batch(
-        node_requests, cfg_.start_jd, end_jd, opts, cfg_.pass_threads);
-    for (std::size_t s = 0; s < satellites_.size(); ++s)
-      for (std::size_t l = 0; l < locations_.size(); ++l)
-        node_windows_[s][l] =
-            std::move(node_windows[s * locations_.size() + l]);
+    // One cached batch per node location, then one per ground station
+    // (each station carries its own elevation mask). The contact-window
+    // cache serves repeats (e.g. re-runs over the same constellation and
+    // span); misses fan out across the shared pool. Results come back in
+    // input (satellite) order, so the window tables are identical to the
+    // serial loops.
+    for (std::size_t l = 0; l < locations_.size(); ++l) {
+      auto windows = orbit::predict_passes_batch_cached(
+          tles_, locations_[l], cfg_.start_jd, end_jd, opts,
+          cfg_.pass_threads, &orbit::ContactWindowCache::global(),
+          cfg_.metrics);
+      for (std::size_t s = 0; s < satellites_.size(); ++s)
+        node_windows_[s][l] = std::move(windows[s]);
+    }
 
     for (std::size_t g = 0; g < cfg_.ground_stations.size(); ++g) {
       orbit::PassPredictionOptions gs_opts = opts;
       gs_opts.min_elevation_deg = cfg_.ground_stations[g].min_elevation_deg;
-      std::vector<orbit::PassBatchRequest> gs_requests;
-      gs_requests.reserve(satellites_.size());
-      for (std::size_t s = 0; s < satellites_.size(); ++s)
-        gs_requests.push_back({&satellites_[s].propagator,
-                               cfg_.ground_stations[g].location});
-      auto gs_windows = orbit::predict_passes_batch(
-          gs_requests, cfg_.start_jd, end_jd, gs_opts, cfg_.pass_threads);
+      auto gs_windows = orbit::predict_passes_batch_cached(
+          tles_, cfg_.ground_stations[g].location, cfg_.start_jd, end_jd,
+          gs_opts, cfg_.pass_threads, &orbit::ContactWindowCache::global(),
+          cfg_.metrics);
       for (std::size_t s = 0; s < satellites_.size(); ++s)
         gs_windows_[s][g] = std::move(gs_windows[s]);
     }
@@ -163,7 +162,11 @@ class Simulator {
       if (interval <= 0.0)
         throw std::invalid_argument("DtsNetwork: bad report interval");
       // Small per-node phase so reports are not artificially synchronized.
-      const double phase = 60.0 * static_cast<double>(n);
+      // Wrapped modulo the interval so a large node index never pushes
+      // the first report late enough to lose a whole report relative to
+      // the other nodes (every node gets the same report count).
+      const double phase =
+          std::fmod(60.0 * static_cast<double>(n), interval);
       for (double t = phase; t < duration_s(); t += interval)
         sim_.at(t, [this, n] { generate_report(n); });
     }
@@ -223,13 +226,11 @@ class Simulator {
     for (std::size_t s = 0; s < satellites_.size(); ++s) {
       for (std::size_t g = 0; g < gs_windows_[s].size(); ++g) {
         for (const ContactWindow& w : gs_windows_[s][g]) {
-          // Two drain opportunities per contact: shortly after rise (link
-          // acquisition time) and near the end of the window.
           const double aos =
-              (w.aos_jd - cfg_.start_jd) * orbit::kSecondsPerDay + 20.0;
+              (w.aos_jd - cfg_.start_jd) * orbit::kSecondsPerDay;
           const double los =
-              (w.los_jd - cfg_.start_jd) * orbit::kSecondsPerDay - 5.0;
-          for (const double t : {aos, los})
+              (w.los_jd - cfg_.start_jd) * orbit::kSecondsPerDay;
+          for (const double t : gs_flush_times(aos, los))
             if (t >= 0.0 && t < duration_s())
               sim_.at(t, [this, s] { flush_satellite(s); });
         }
@@ -483,7 +484,28 @@ class Simulator {
         result.uplinks.push_back(rec);
       result.node_residency.push_back(node_residency(n));
     }
+    publish_metrics(result);
     return result;
+  }
+
+  void publish_metrics(const DtsNetworkResult& result) {
+    if (cfg_.metrics == nullptr) return;
+    obs::MetricsRegistry& m = *cfg_.metrics;
+    m.counter("net.dts.beacons_sent").add(counters_.beacons_sent);
+    m.counter("net.dts.beacons_heard").add(counters_.beacons_heard);
+    m.counter("net.dts.uplink_attempts").add(counters_.uplink_attempts);
+    m.counter("net.dts.uplinks_received").add(counters_.uplinks_received);
+    m.counter("net.dts.uplinks_collided").add(counters_.uplinks_collided);
+    m.counter("net.dts.acks_sent").add(counters_.acks_sent);
+    m.counter("net.dts.acks_received").add(counters_.acks_received);
+    m.counter("net.dts.duplicate_uplinks").add(counters_.duplicate_uplinks);
+    m.counter("net.dts.satellite_buffer_drops")
+        .add(counters_.satellite_buffer_drops);
+    m.counter("net.dts.background_losses").add(counters_.background_losses);
+    m.counter("net.dts.reports_generated").add(result.uplinks.size());
+    m.gauge("net.dts.delivered_fraction").set(result.delivered_fraction());
+    m.gauge("net.dts.mean_end_to_end_s").set(result.mean_end_to_end_s());
+    sim_.publish_metrics();
   }
 
   /// Energy accounting: the node holds MCU+Rx through the *theoretical*
@@ -515,6 +537,7 @@ class Simulator {
   phy::ErrorModel error_model_;
   BackhaulModel backhaul_;
 
+  std::vector<orbit::Tle> tles_;
   std::vector<Satellite> satellites_;
   std::vector<IotNodeState> nodes_;
   std::vector<orbit::Geodetic> locations_;
@@ -627,9 +650,28 @@ DtsNetworkConfig tianqi_agriculture_config(orbit::JulianDate start_jd,
   return cfg;
 }
 
+std::vector<double> gs_flush_times(double aos_s, double los_s) {
+  if (los_s < aos_s) return {};
+  const double duration = los_s - aos_s;
+  // A nominal contact drains twice: 20 s after rise (link acquisition
+  // time) and 5 s before set. A window too short for both gets a single
+  // midpoint flush; either way every flush lands inside [aos, los].
+  if (duration < 25.0) return {aos_s + 0.5 * duration};
+  return {aos_s + 20.0, los_s - 5.0};
+}
+
 DtsNetworkResult run_dts_network(const DtsNetworkConfig& cfg) {
+  // Wrap the shared pool so its task counters land in this run's
+  // registry (the scope detaches on exit: the pool outlives cfg.metrics).
+  sim::ThreadPool::MetricsScope pool_scope(sim::ThreadPool::shared(),
+                                           cfg.metrics);
+  obs::PhaseProfiler phases(cfg.metrics, "net.dts");
+  phases.phase("setup");
   Simulator sim(cfg);
-  return sim.run();
+  phases.phase("simulate");
+  DtsNetworkResult result = sim.run();
+  phases.stop();
+  return result;
 }
 
 }  // namespace sinet::net

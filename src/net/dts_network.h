@@ -31,6 +31,10 @@
 #include "phy/link_budget.h"
 #include "trace/packet_trace.h"
 
+namespace sinet::obs {
+class MetricsRegistry;
+}  // namespace sinet::obs
+
 namespace sinet::net {
 
 struct DtsNetworkConfig {
@@ -118,6 +122,13 @@ struct DtsNetworkConfig {
   unsigned pass_threads = 0;
 
   std::uint64_t seed = 42;
+
+  /// Optional run-metrics sink. When non-null the run records event-queue
+  /// ("sim.event_queue.*"), thread-pool ("sim.thread_pool.*"), pass-cache
+  /// ("orbit.pass_cache.*") and network ("net.dts.*") metrics into it;
+  /// null (the default) disables all instrumentation. The registry must
+  /// outlive run_dts_network().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// A sensible default configuration matching the paper's active setup:
@@ -155,6 +166,13 @@ struct DtsNetworkResult {
   };
   [[nodiscard]] LatencyBreakdown mean_latency_breakdown() const;
 };
+
+/// Ground-station drain opportunities inside one contact window, as sim
+/// times. Nominally two flushes per contact — 20 s after AOS (link
+/// acquisition) and 5 s before LOS — both clamped into [aos_s, los_s].
+/// Windows shorter than 25 s get a single flush at the window midpoint;
+/// an empty/inverted window (los_s < aos_s) yields no flushes.
+[[nodiscard]] std::vector<double> gs_flush_times(double aos_s, double los_s);
 
 /// Run the full simulation. Throws std::invalid_argument on nonsensical
 /// configuration (no nodes, nonpositive duration, ...).

@@ -12,10 +12,18 @@ std::vector<double> assign_subslots(std::size_t responders, double toa_s,
     throw std::invalid_argument("assign_subslots: nonpositive duration");
   if (guard_s < 0.0 || lead_in_s < 0.0)
     throw std::invalid_argument("assign_subslots: negative guard/lead-in");
+  // Even a single transmission must fit: a slot starting at lead_in_s
+  // ends at lead_in_s + toa_s, which may not spill past the period.
+  if (lead_in_s + toa_s > period_s)
+    throw std::invalid_argument(
+        "assign_subslots: lead_in_s + toa_s exceeds period_s");
   const double pitch = toa_s + guard_s;
-  const double usable = std::max(period_s - lead_in_s - toa_s, pitch);
+  // Largest k with lead_in_s + k*pitch + toa_s <= period_s; slot count is
+  // k+1, so the last slot's transmission ends inside the period instead
+  // of overrunning into the next beacon's lead-in.
+  const double span = period_s - lead_in_s - toa_s;
   const auto slots_per_period =
-      std::max<std::size_t>(1, static_cast<std::size_t>(usable / pitch));
+      static_cast<std::size_t>(std::floor(span / pitch)) + 1;
   std::vector<double> offsets;
   offsets.reserve(responders);
   for (std::size_t i = 0; i < responders; ++i)

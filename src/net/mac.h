@@ -53,9 +53,13 @@ enum class UplinkAccess {
 
 /// Non-overlapping subslot start offsets for `responders` transmissions
 /// of duration `toa_s` within a beacon period of `period_s`, separated
-/// by `guard_s`. Offsets cycle if the period cannot hold all responders
-/// (late ones collide — the schedule is oversubscribed). Throws
-/// std::invalid_argument for nonpositive durations.
+/// by `guard_s`. Every offset satisfies
+///   lead_in_s <= offset  and  offset + toa_s <= period_s,
+/// so no scheduled transmission overruns the beacon period. Offsets cycle
+/// if the period cannot hold all responders (late ones collide — the
+/// schedule is oversubscribed). Throws std::invalid_argument for
+/// nonpositive durations or when even a single transmission cannot fit
+/// (lead_in_s + toa_s > period_s).
 [[nodiscard]] std::vector<double> assign_subslots(std::size_t responders,
                                                   double toa_s,
                                                   double period_s,

@@ -1,0 +1,185 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sinet::obs {
+
+namespace {
+
+/// Relaxed CAS accumulate for atomic<double> (fetch_add on atomic
+/// floating-point is C++20 but not universally lock-free; the CAS loop is
+/// portable and the contention on metrics is negligible).
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_fold_min(std::atomic<double>& target, double x) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (x < cur && !target.compare_exchange_weak(
+                        cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_fold_max(std::atomic<double>& target, double x) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (x > cur && !target.compare_exchange_weak(
+                        cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::set(double x) noexcept {
+  value_.store(x, std::memory_order_relaxed);
+  fold_max(x);
+}
+
+void Gauge::add(double delta) noexcept {
+  atomic_add(value_, delta);
+  fold_max(value_.load(std::memory_order_relaxed));
+}
+
+double Gauge::max() const noexcept {
+  if (!has_max_.load(std::memory_order_relaxed)) return value();
+  return max_.load(std::memory_order_relaxed);
+}
+
+void Gauge::fold_max(double x) noexcept {
+  if (!has_max_.exchange(true, std::memory_order_relaxed)) {
+    max_.store(x, std::memory_order_relaxed);
+    return;
+  }
+  atomic_fold_max(max_, x);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      bins_(bins) {
+  if (!(hi > lo))
+    throw std::invalid_argument("obs::Histogram: hi must be > lo");
+  if (bins == 0)
+    throw std::invalid_argument("obs::Histogram: bins must be > 0");
+}
+
+void Histogram::record(double x) noexcept {
+  if (std::isnan(x)) {
+    nan_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t prior =
+      finite_count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, x);
+  if (prior == 0) {
+    // First finite sample seeds min/max; racing seeders are folded below.
+    min_.store(x, std::memory_order_relaxed);
+    max_.store(x, std::memory_order_relaxed);
+  } else {
+    atomic_fold_min(min_, x);
+    atomic_fold_max(max_, x);
+  }
+  if (x < lo_) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (x >= hi_) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= bins_.size()) idx = bins_.size() - 1;  // fp edge at hi_
+  bins_[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count(std::size_t i) const {
+  return bins_.at(i).load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::underflow() const noexcept {
+  return underflow_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::overflow() const noexcept {
+  return overflow_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::nan_count() const noexcept {
+  return nan_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::total() const noexcept {
+  return finite_count_.load(std::memory_order_relaxed) + nan_count();
+}
+
+double Histogram::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+double Histogram::min() const noexcept {
+  if (finite_count_.load(std::memory_order_relaxed) == 0) return 0.0;
+  return min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  if (finite_count_.load(std::memory_order_relaxed) == 0) return 0.0;
+  return max_.load(std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, std::size_t bins) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(lo, hi, bins);
+  return *slot;
+}
+
+void MetricsRegistry::set_info(const std::string& key,
+                               const std::string& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  info_[key] = value;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.info = info_;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_)
+    s.gauges[name] = GaugeSnapshot{g->value(), g->max()};
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.lo = h->lo();
+    hs.hi = h->hi();
+    hs.bins.reserve(h->bin_count());
+    for (std::size_t i = 0; i < h->bin_count(); ++i)
+      hs.bins.push_back(h->count(i));
+    hs.underflow = h->underflow();
+    hs.overflow = h->overflow();
+    hs.nan_count = h->nan_count();
+    hs.total = h->total();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    s.histograms[name] = std::move(hs);
+  }
+  return s;
+}
+
+}  // namespace sinet::obs

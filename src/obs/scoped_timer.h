@@ -1,0 +1,87 @@
+// Wall-time instrumentation primitives built on obs::MetricsRegistry.
+//
+// Both classes are null-tolerant: constructed against a null registry or
+// metric they skip the clock reads entirely, so instrumented code paths
+// cost nothing when metrics are disabled.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace sinet::obs {
+
+/// Measures the lifetime of a scope and records it on destruction:
+/// seconds accumulated into a Gauge, or milliseconds sampled into a
+/// Histogram. A null target disarms the timer (no clock read at all).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Gauge* accumulate_seconds) noexcept
+      : gauge_(accumulate_seconds) {
+    if (gauge_) start_ = std::chrono::steady_clock::now();
+  }
+  explicit ScopedTimer(Histogram* sample_ms) noexcept : hist_(sample_ms) {
+    if (hist_) start_ = std::chrono::steady_clock::now();
+  }
+  /// Convenience: resolve `gauge_name` in `registry` (null registry ->
+  /// disarmed) and accumulate elapsed seconds into it.
+  ScopedTimer(MetricsRegistry* registry, const std::string& gauge_name)
+      : ScopedTimer(registry ? &registry->gauge(gauge_name) : nullptr) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (!gauge_ && !hist_) return;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    if (gauge_) gauge_->add(elapsed.count());
+    if (hist_) hist_->record(elapsed.count() * 1e3);
+  }
+
+ private:
+  Gauge* gauge_ = nullptr;
+  Histogram* hist_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Phase profiler for multi-stage drivers: each phase's wall time is
+/// accumulated into the gauge "<prefix>.phase.<name>_s". Null registry
+/// makes every call a no-op.
+class PhaseProfiler {
+ public:
+  PhaseProfiler(MetricsRegistry* registry, std::string prefix)
+      : registry_(registry), prefix_(std::move(prefix)) {}
+
+  PhaseProfiler(const PhaseProfiler&) = delete;
+  PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+  /// Close the current phase (if any) and start timing `name`.
+  void phase(const std::string& name) {
+    if (!registry_) return;
+    stop();
+    current_ = &registry_->gauge(prefix_ + ".phase." + name + "_s");
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  /// Close the current phase without starting a new one.
+  void stop() {
+    if (!current_) return;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    current_->add(elapsed.count());
+    current_ = nullptr;
+  }
+
+  ~PhaseProfiler() { stop(); }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string prefix_;
+  Gauge* current_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sinet::obs

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "orbit/frames.h"
 #include "sim/thread_pool.h"
 
@@ -135,7 +137,8 @@ std::vector<ContactWindow> predict_passes(const Sgp4& prop,
 
 std::vector<std::vector<ContactWindow>> predict_passes_batch(
     const std::vector<PassBatchRequest>& requests, JulianDate jd_start,
-    JulianDate jd_end, const PassPredictionOptions& opts, unsigned threads) {
+    JulianDate jd_end, const PassPredictionOptions& opts, unsigned threads,
+    obs::MetricsRegistry* metrics) {
   // Validate once up front so failures are thrown deterministically
   // before any task is spawned.
   if (jd_end < jd_start)
@@ -145,6 +148,16 @@ std::vector<std::vector<ContactWindow>> predict_passes_batch(
   for (const PassBatchRequest& req : requests)
     if (req.propagator == nullptr)
       throw std::invalid_argument("predict_passes_batch: null propagator");
+
+  obs::ScopedTimer timer(
+      metrics == nullptr
+          ? nullptr
+          : &metrics->histogram("orbit.pass_batch.latency_ms", 0.0, 10000.0,
+                                50));
+  if (metrics != nullptr) {
+    metrics->counter("orbit.pass_batch.calls").add(1);
+    metrics->counter("orbit.pass_batch.requests").add(requests.size());
+  }
 
   std::vector<std::vector<ContactWindow>> out(requests.size());
   const auto run_one = [&](std::size_t i) {
@@ -243,7 +256,8 @@ ContactWindowCache& ContactWindowCache::global() {
 std::vector<std::vector<ContactWindow>> predict_passes_batch_cached(
     const std::vector<Tle>& tles, const Geodetic& observer,
     JulianDate jd_start, JulianDate jd_end, const PassPredictionOptions& opts,
-    unsigned threads, ContactWindowCache* cache) {
+    unsigned threads, ContactWindowCache* cache,
+    obs::MetricsRegistry* metrics) {
   std::vector<std::vector<ContactWindow>> out(tles.size());
 
   // Probe the cache; remember which TLEs still need computing.
@@ -267,6 +281,16 @@ std::vector<std::vector<ContactWindow>> predict_passes_batch_cached(
       }
     }
   }
+  if (metrics != nullptr) {
+    // Per-call deltas, so concurrent callers sharing the global cache
+    // each account only for their own probes.
+    metrics->counter("orbit.pass_cache.hits")
+        .add(tles.size() - miss_indices.size());
+    metrics->counter("orbit.pass_cache.misses").add(miss_indices.size());
+    if (cache != nullptr)
+      metrics->gauge("orbit.pass_cache.entries")
+          .set(static_cast<double>(cache->stats().entries));
+  }
   if (miss_indices.empty()) return out;
 
   // Batch-predict the misses; results land in input order.
@@ -277,7 +301,7 @@ std::vector<std::vector<ContactWindow>> predict_passes_batch_cached(
   for (std::size_t m = 0; m < miss_indices.size(); ++m)
     requests[m] = PassBatchRequest{&props[m], observer};
   auto computed =
-      predict_passes_batch(requests, jd_start, jd_end, opts, threads);
+      predict_passes_batch(requests, jd_start, jd_end, opts, threads, metrics);
 
   for (std::size_t m = 0; m < miss_indices.size(); ++m) {
     const std::size_t i = miss_indices[m];
@@ -287,6 +311,9 @@ std::vector<std::vector<ContactWindow>> predict_passes_batch_cached(
                     computed[m]);
     out[i] = std::move(computed[m]);
   }
+  if (metrics != nullptr && cache != nullptr)
+    metrics->gauge("orbit.pass_cache.entries")
+        .set(static_cast<double>(cache->stats().entries));
   return out;
 }
 

@@ -17,6 +17,10 @@
 #include "orbit/sgp4.h"
 #include "orbit/tle.h"
 
+namespace sinet::obs {
+class MetricsRegistry;
+}  // namespace sinet::obs
+
 namespace sinet::orbit {
 
 /// One predicted contact window.
@@ -97,10 +101,15 @@ struct PassBatchRequest {
 /// `threads` semantics: 0 = all hardware threads (the process-wide shared
 /// pool), 1 = exact legacy path (serial loop on the calling thread, no
 /// pool), N > 1 = N workers.
+///
+/// When `metrics` is non-null the call records its wall time into the
+/// "orbit.pass_batch.latency_ms" histogram and bumps the
+/// "orbit.pass_batch.calls" / "orbit.pass_batch.requests" counters; null
+/// (the default) takes no clock reads.
 [[nodiscard]] std::vector<std::vector<ContactWindow>> predict_passes_batch(
     const std::vector<PassBatchRequest>& requests, JulianDate jd_start,
     JulianDate jd_end, const PassPredictionOptions& opts = {},
-    unsigned threads = 0);
+    unsigned threads = 0, obs::MetricsRegistry* metrics = nullptr);
 
 /// Memoizes predicted windows per satellite.
 ///
@@ -143,7 +152,7 @@ class ContactWindowCache {
       const std::vector<Tle>& tles, const Geodetic& observer,
       JulianDate jd_start, JulianDate jd_end,
       const PassPredictionOptions& opts, unsigned threads,
-      ContactWindowCache* cache);
+      ContactWindowCache* cache, obs::MetricsRegistry* metrics);
 
   void insert(const Key& key, const std::vector<ContactWindow>& windows);
 
@@ -158,6 +167,11 @@ class ContactWindowCache {
 /// Per-TLE windows over one site, served from `cache` where possible and
 /// batch-predicted (see predict_passes_batch) for the misses. Results in
 /// input (TLE) order. Pass cache = nullptr to bypass caching entirely.
+///
+/// When `metrics` is non-null the call adds this probe's hits/misses to
+/// the "orbit.pass_cache.hits" / "orbit.pass_cache.misses" counters and
+/// refreshes the "orbit.pass_cache.entries" gauge, in addition to the
+/// predict_passes_batch instrumentation for the miss computation.
 [[nodiscard]] std::vector<std::vector<ContactWindow>>
 predict_passes_batch_cached(const std::vector<Tle>& tles,
                             const Geodetic& observer, JulianDate jd_start,
@@ -165,7 +179,8 @@ predict_passes_batch_cached(const std::vector<Tle>& tles,
                             const PassPredictionOptions& opts = {},
                             unsigned threads = 0,
                             ContactWindowCache* cache =
-                                &ContactWindowCache::global());
+                                &ContactWindowCache::global(),
+                            obs::MetricsRegistry* metrics = nullptr);
 
 /// Sample look angles along a window at `step_s` spacing (inclusive ends).
 [[nodiscard]] std::vector<PassSample> sample_pass(const Sgp4& prop,

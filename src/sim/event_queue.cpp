@@ -1,7 +1,10 @@
 #include "sim/event_queue.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace sinet::sim {
 
@@ -13,6 +16,7 @@ EventHandle EventQueue::schedule_at(SimTime t, Callback cb) {
   heap_.push(Entry{t, next_seq_, h, std::move(cb)});
   ++next_seq_;
   pending_.insert(h);
+  if (pending_.size() > max_pending_) max_pending_ = pending_.size();
   return h;
 }
 
@@ -50,8 +54,37 @@ bool EventQueue::step() {
   heap_.pop();
   pending_.erase(e.handle);
   now_ = e.time;
-  e.cb();
+  ++executed_;
+  if (handler_ms_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    e.cb();
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    handler_ms_->record(elapsed.count());
+  } else {
+    e.cb();
+  }
   return true;
+}
+
+void EventQueue::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  handler_ms_ =
+      registry == nullptr
+          ? nullptr
+          : &registry->histogram("sim.event_queue.handler_ms", 0.0, 100.0,
+                                 50);
+}
+
+void EventQueue::publish_metrics() {
+  if (metrics_ == nullptr) return;
+  metrics_->counter("sim.event_queue.events_executed")
+      .add(executed_ - published_executed_);
+  published_executed_ = executed_;
+  metrics_->gauge("sim.event_queue.max_pending")
+      .set(static_cast<double>(max_pending_));
+  metrics_->gauge("sim.event_queue.pending")
+      .set(static_cast<double>(pending_.size()));
 }
 
 std::size_t EventQueue::run_until(SimTime until) {

@@ -17,6 +17,11 @@
 #include <unordered_set>
 #include <vector>
 
+namespace sinet::obs {
+class Histogram;
+class MetricsRegistry;
+}  // namespace sinet::obs
+
 namespace sinet::sim {
 
 /// Simulation time in seconds since simulation epoch.
@@ -59,6 +64,25 @@ class EventQueue {
   /// Run until the queue drains. Returns events executed.
   std::size_t run_all();
 
+  /// Events executed since construction (always tracked; two integer ops
+  /// per event, no clock reads).
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+  /// High-water mark of pending() over the queue's lifetime.
+  [[nodiscard]] std::size_t max_pending() const noexcept {
+    return max_pending_;
+  }
+
+  /// Attach a metrics registry (nullptr detaches). While attached, each
+  /// handler's wall time is sampled into the "sim.event_queue.handler_ms"
+  /// histogram; detached (the default) the queue takes no clock reads and
+  /// touches no registry state.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Flush the executed/high-water counters into the attached registry
+  /// ("sim.event_queue.*"). No-op when detached. Incremental: only the
+  /// events executed since the previous publish are added.
+  void publish_metrics();
+
  private:
   struct Entry {
     SimTime time;
@@ -81,6 +105,12 @@ class EventQueue {
   std::unordered_set<EventHandle> pending_;  // scheduled, not fired/cancelled
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
+
+  std::uint64_t executed_ = 0;
+  std::uint64_t published_executed_ = 0;
+  std::size_t max_pending_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Histogram* handler_ms_ = nullptr;  // resolved once in set_metrics
 };
 
 }  // namespace sinet::sim

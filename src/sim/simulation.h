@@ -12,6 +12,10 @@
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 
+namespace sinet::obs {
+class MetricsRegistry;
+}  // namespace sinet::obs
+
 namespace sinet::sim {
 
 class Simulation {
@@ -45,6 +49,14 @@ class Simulation {
 
   std::size_t run_until(SimTime t) { return events_.run_until(t); }
   std::size_t run_all() { return events_.run_all(); }
+
+  /// Observability: attach a metrics registry to the event queue (nullptr
+  /// detaches; detached runs take no instrumentation cost) and flush the
+  /// queue counters into it when a run finishes.
+  void attach_metrics(obs::MetricsRegistry* registry) {
+    events_.set_metrics(registry);
+  }
+  void publish_metrics() { events_.publish_metrics(); }
 
  private:
   EventQueue events_;

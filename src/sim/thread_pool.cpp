@@ -2,7 +2,10 @@
 
 #include <exception>
 #include <memory>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace sinet::sim {
 
@@ -12,13 +15,19 @@ namespace {
 // completion latch (which would deadlock a fully-busy pool) to helping
 // drain the queue.
 thread_local const ThreadPool* t_worker_pool = nullptr;
+// Index of the current thread within its owning pool; only meaningful
+// when t_worker_pool is set.
+thread_local std::size_t t_worker_index = 0;
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned thread_count) {
   if (thread_count == 0) thread_count = hardware_threads();
+  busy_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(thread_count);
+  for (unsigned i = 0; i < thread_count; ++i)
+    busy_ns_[i].store(0, std::memory_order_relaxed);
   workers_.reserve(thread_count);
   for (unsigned i = 0; i < thread_count; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -34,6 +43,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push(std::move(task));
+    if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
   }
   cv_.notify_one();
 }
@@ -42,8 +52,29 @@ bool ThreadPool::on_worker_thread() const noexcept {
   return t_worker_pool == this;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::run_task(std::function<void()>& task,
+                          std::size_t worker_index) {
+  // Count before running: a parallel_for task's completion latch fires
+  // inside task(), so counting afterwards would let the caller (and a
+  // MetricsScope publishing on exit) observe fewer tasks than have
+  // visibly completed.
+  tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  if (timing_enabled_.load(std::memory_order_relaxed)) {
+    const auto t0 = std::chrono::steady_clock::now();
+    task();
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    busy_ns_[worker_index].fetch_add(static_cast<std::uint64_t>(ns),
+                                     std::memory_order_relaxed);
+  } else {
+    task();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
   t_worker_pool = this;
+  t_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {
@@ -53,7 +84,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    run_task(task, worker_index);
   }
 }
 
@@ -65,7 +96,9 @@ bool ThreadPool::try_run_one_task() {
     task = std::move(queue_.front());
     queue_.pop();
   }
-  task();
+  // Only ever called from parallel_for's helping branch, which requires
+  // on_worker_thread(), so t_worker_index is valid here.
+  run_task(task, t_worker_index);
   return true;
 }
 
@@ -138,6 +171,52 @@ unsigned ThreadPool::hardware_threads() noexcept {
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool(hardware_threads());
   return pool;
+}
+
+void ThreadPool::set_metrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_ = registry;
+  if (registry != nullptr) {
+    attach_time_ = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+      busy_ns_[i].store(0, std::memory_order_relaxed);
+    timing_enabled_.store(true, std::memory_order_relaxed);
+  } else {
+    timing_enabled_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::publish_metrics() {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  if (metrics_ == nullptr) return;
+  const std::uint64_t run = tasks_run_.load(std::memory_order_relaxed);
+  metrics_->counter("sim.thread_pool.tasks_run")
+      .add(run - published_tasks_run_);
+  published_tasks_run_ = run;
+  metrics_->gauge("sim.thread_pool.workers")
+      .set(static_cast<double>(workers_.size()));
+  {
+    std::lock_guard<std::mutex> qlock(mutex_);
+    metrics_->gauge("sim.thread_pool.max_queue_depth")
+        .set(static_cast<double>(max_queue_depth_));
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    attach_time_)
+          .count();
+  double total_busy_s = 0.0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const double busy_s =
+        static_cast<double>(busy_ns_[i].load(std::memory_order_relaxed)) *
+        1e-9;
+    total_busy_s += busy_s;
+    const std::string prefix =
+        "sim.thread_pool.worker" + std::to_string(i);
+    metrics_->gauge(prefix + ".busy_s").set(busy_s);
+    metrics_->gauge(prefix + ".utilization")
+        .set(wall_s > 0.0 ? busy_s / wall_s : 0.0);
+  }
+  metrics_->gauge("sim.thread_pool.busy_s").set(total_busy_s);
 }
 
 }  // namespace sinet::sim

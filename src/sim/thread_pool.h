@@ -13,13 +13,21 @@
 // exact-legacy mode).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+namespace sinet::obs {
+class MetricsRegistry;
+}  // namespace sinet::obs
 
 namespace sinet::sim {
 
@@ -61,16 +69,73 @@ class ThreadPool {
   /// threads instead of oversubscribing the machine.
   [[nodiscard]] static ThreadPool& shared();
 
+  /// Tasks executed since construction (always tracked; one relaxed
+  /// atomic increment per task).
+  [[nodiscard]] std::uint64_t tasks_run() const noexcept {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+
+  /// Attach a metrics registry (nullptr detaches). While attached each
+  /// task is timed into a per-worker busy-time accumulator; detached (the
+  /// default) workers take no clock reads.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Flush pool counters into the attached registry under
+  /// "sim.thread_pool.*": tasks_run (incremental), max_queue_depth,
+  /// workers, and per-worker busy_s / utilization gauges (utilization is
+  /// busy time over wall time since the registry was attached). No-op
+  /// when detached.
+  void publish_metrics();
+
+  /// RAII attach/publish/detach. Drivers wrap the process-wide shared()
+  /// pool with a scope so the pool never keeps a pointer to a registry
+  /// that has gone out of scope.
+  class MetricsScope {
+   public:
+    MetricsScope(ThreadPool& pool, obs::MetricsRegistry* registry)
+        : pool_(pool), armed_(registry != nullptr) {
+      if (armed_) pool_.set_metrics(registry);
+    }
+    ~MetricsScope() {
+      if (armed_) {
+        pool_.publish_metrics();
+        pool_.set_metrics(nullptr);
+      }
+    }
+    MetricsScope(const MetricsScope&) = delete;
+    MetricsScope& operator=(const MetricsScope&) = delete;
+
+   private:
+    ThreadPool& pool_;
+    bool armed_;
+  };
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
   /// Pop one task if available and run it outside the lock.
   bool try_run_one_task();
+  /// Run `task`, bumping tasks_run_ and (when timing is on) the calling
+  /// worker's busy-time accumulator.
+  void run_task(std::function<void()>& task, std::size_t worker_index);
 
   std::mutex mutex_;
   std::condition_variable cv_;
   std::queue<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   bool stop_ = false;
+
+  std::size_t max_queue_depth_ = 0;  // guarded by mutex_
+  std::atomic<std::uint64_t> tasks_run_{0};
+  // Per-worker busy time in nanoseconds; fixed-size, allocated once in
+  // the constructor so enabling timing mid-flight never races an
+  // allocation with a running worker.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> busy_ns_;
+  std::atomic<bool> timing_enabled_{false};
+
+  std::mutex metrics_mutex_;
+  obs::MetricsRegistry* metrics_ = nullptr;  // guarded by metrics_mutex_
+  std::uint64_t published_tasks_run_ = 0;    // guarded by metrics_mutex_
+  std::chrono::steady_clock::time_point attach_time_{};
 };
 
 }  // namespace sinet::sim

@@ -18,6 +18,12 @@ void Histogram::add(double x) noexcept { add(x, 1.0); }
 
 void Histogram::add(double x, double weight) noexcept {
   total_ += weight;
+  // NaN fails both range checks below, and casting NaN to an integer is
+  // undefined behaviour — route it to its own bucket first.
+  if (std::isnan(x)) {
+    nan_ += weight;
+    return;
+  }
   if (x < lo_) {
     underflow_ += weight;
     return;

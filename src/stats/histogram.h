@@ -25,6 +25,9 @@ class Histogram {
   [[nodiscard]] double count(std::size_t i) const;
   [[nodiscard]] double underflow() const noexcept { return underflow_; }
   [[nodiscard]] double overflow() const noexcept { return overflow_; }
+  /// Mass carried by NaN samples, tracked like under/overflow (NaN is
+  /// neither below lo nor at-or-above hi, so it gets its own bucket).
+  [[nodiscard]] double nan() const noexcept { return nan_; }
   [[nodiscard]] double total() const noexcept { return total_; }
 
   /// Fraction of total mass in bin i; 0 if the histogram is empty.
@@ -43,6 +46,7 @@ class Histogram {
   std::vector<double> counts_;
   double underflow_ = 0.0;
   double overflow_ = 0.0;
+  double nan_ = 0.0;
   double total_ = 0.0;
 };
 

@@ -4,8 +4,12 @@
 // so the suite stays fast; the benches run the full-scale configurations.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
 #include "core/scenario.h"
 #include "net/dts_network.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -193,6 +197,104 @@ TEST(DtsNetwork, ConcurrencyIsBoundedByNodeCount) {
     EXPECT_LE(u.max_concurrent_tx, 3);
     EXPECT_GE(u.max_concurrent_tx, 0);
   }
+}
+
+// Regression: GS drain times used to be computed as aos+20 / los-5
+// without clamping, so short contacts got flush events outside their own
+// window (los-5 before aos, or aos+20 after los).
+TEST(GsFlushTimes, NominalContactDrainsTwice) {
+  const auto times = gs_flush_times(100.0, 500.0);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 120.0);
+  EXPECT_DOUBLE_EQ(times[1], 495.0);
+}
+
+TEST(GsFlushTimes, ShortContactCollapsesToMidpointFlush) {
+  // 10 s window: the old schedule put flushes at aos+20 (after LOS) and
+  // los-5 (before AOS+20 — crossed); now it is one midpoint flush.
+  const auto times = gs_flush_times(100.0, 110.0);
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 105.0);
+}
+
+TEST(GsFlushTimes, AllFlushesStayInsideTheWindow) {
+  for (const double dur : {0.0, 1.0, 24.9, 25.0, 26.0, 300.0, 900.0}) {
+    const double aos = 1000.0;
+    for (const double t : gs_flush_times(aos, aos + dur)) {
+      EXPECT_GE(t, aos);
+      EXPECT_LE(t, aos + dur);
+    }
+  }
+}
+
+TEST(GsFlushTimes, InvertedWindowYieldsNothing) {
+  EXPECT_TRUE(gs_flush_times(10.0, 5.0).empty());
+}
+
+// Regression: the per-node report phase used to be a raw 60 s * index,
+// so with many nodes a late node's first report slid a whole interval
+// and it generated fewer reports over the run than its peers. Wrapped
+// modulo the interval, every node now reports equally often.
+TEST(DtsNetwork, ManyNodesGenerateEqualReportCounts) {
+  DtsNetworkConfig cfg = small_config(0.25);
+  const IotNodeConfig proto = cfg.nodes.front();
+  cfg.nodes.clear();
+  for (int i = 0; i < 12; ++i) {
+    IotNodeConfig nc = proto;
+    nc.name = "node-" + std::to_string(i);
+    nc.report_interval_s = 600.0;  // 60 s * 11 > 600: old phase overflowed
+    cfg.nodes.push_back(nc);
+  }
+  const auto res = run_dts_network(cfg);
+  std::map<std::string, std::size_t> per_node;
+  for (const auto& u : res.uplinks) ++per_node[u.node];
+  ASSERT_EQ(per_node.size(), 12u);
+  const std::size_t expected = per_node.begin()->second;
+  EXPECT_EQ(expected, 36u);  // 0.25 days / 600 s
+  for (const auto& [name, count] : per_node)
+    EXPECT_EQ(count, expected) << name;
+}
+
+// Observability wiring: a run with a registry attached must report the
+// same counters the result carries, and attaching metrics must not
+// perturb the simulation itself.
+TEST(DtsNetwork, MetricsMatchResultCounters) {
+  sinet::obs::MetricsRegistry reg;
+  DtsNetworkConfig cfg = small_config(1.0);
+  cfg.metrics = &reg;
+  const auto res = run_dts_network(cfg);
+  const sinet::obs::Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.counters.at("net.dts.beacons_sent"), res.counters.beacons_sent);
+  EXPECT_EQ(s.counters.at("net.dts.uplink_attempts"),
+            res.counters.uplink_attempts);
+  EXPECT_EQ(s.counters.at("net.dts.uplinks_received"),
+            res.counters.uplinks_received);
+  EXPECT_EQ(s.counters.at("net.dts.reports_generated"), res.uplinks.size());
+  EXPECT_DOUBLE_EQ(s.gauges.at("net.dts.delivered_fraction").value,
+                   res.delivered_fraction());
+  // The sim core layers reported too: event queue, thread pool, and the
+  // contact-window cache all fed the same registry.
+  EXPECT_GT(s.counters.at("sim.event_queue.events_executed"), 0u);
+  EXPECT_TRUE(s.counters.count("sim.thread_pool.tasks_run"));
+  EXPECT_TRUE(s.counters.count("orbit.pass_cache.hits") ||
+              s.counters.count("orbit.pass_cache.misses"));
+  EXPECT_TRUE(s.gauges.count("net.dts.phase.setup_s"));
+  EXPECT_TRUE(s.gauges.count("net.dts.phase.simulate_s"));
+}
+
+TEST(DtsNetwork, MetricsDoNotPerturbTheRun) {
+  DtsNetworkConfig cfg = small_config(1.0);
+  const auto plain = run_dts_network(cfg);
+  sinet::obs::MetricsRegistry reg;
+  cfg.metrics = &reg;
+  const auto instrumented = run_dts_network(cfg);
+  ASSERT_EQ(plain.uplinks.size(), instrumented.uplinks.size());
+  EXPECT_EQ(plain.counters.uplink_attempts,
+            instrumented.counters.uplink_attempts);
+  EXPECT_EQ(plain.counters.uplinks_received,
+            instrumented.counters.uplinks_received);
+  for (std::size_t i = 0; i < plain.uplinks.size(); ++i)
+    EXPECT_EQ(plain.uplinks[i].delivered, instrumented.uplinks[i].delivered);
 }
 
 }  // namespace

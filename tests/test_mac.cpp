@@ -1,6 +1,8 @@
 // MAC collision / capture model tests (paper Fig 12b substrate).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "net/mac.h"
 
 namespace {
@@ -96,6 +98,51 @@ TEST(Collisions, CustomThresholdZeroMeansTieGoesToStronger) {
   // tx1 is stronger by 0.1 dB >= 0 dB threshold: survives; tx2 does not.
   ASSERT_EQ(winners.size(), 1u);
   EXPECT_EQ(winners[0], 1u);
+}
+
+// Regression: the slot count used to be computed from
+// max(period - lead_in - toa, pitch), which (a) silently accepted
+// geometry where even one transmission cannot fit and (b) could emit a
+// final slot whose transmission ends past the beacon period, colliding
+// with the next beacon's lead-in.
+TEST(Subslots, InfeasibleGeometryThrows) {
+  // lead_in (0.3) + toa (2.0) > period (2.2): the old code returned
+  // offset 0.3 with the transmission ending at 2.5 > 2.2.
+  EXPECT_THROW(assign_subslots(1, 2.0, 2.2, 0.2, 0.3),
+               std::invalid_argument);
+  EXPECT_THROW(assign_subslots(4, 1.0, 0.9), std::invalid_argument);
+}
+
+TEST(Subslots, NoTransmissionOverrunsPeriod) {
+  // Sweep feasible geometries: every assigned offset must respect
+  // lead_in <= offset and offset + toa <= period.
+  for (const double period : {1.0, 2.0, 7.5, 30.0}) {
+    for (const double toa : {0.1, 0.37, 0.9}) {
+      for (const double guard : {0.0, 0.2}) {
+        for (const double lead_in : {0.0, 0.3}) {
+          if (lead_in + toa > period) continue;
+          const auto offsets =
+              assign_subslots(25, toa, period, guard, lead_in);
+          ASSERT_EQ(offsets.size(), 25u);
+          for (const double o : offsets) {
+            EXPECT_GE(o, lead_in);
+            EXPECT_LE(o + toa, period + 1e-9)
+                << "toa=" << toa << " period=" << period
+                << " guard=" << guard << " lead_in=" << lead_in;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Subslots, TightFitUsesTheWholePeriod) {
+  // Exactly two slots fit: 0.5 + 0*1.2 + 1.0 = 1.5 and
+  // 0.5 + 1*1.2 + 1.0 = 2.7 <= period 2.7; a third would end at 3.9.
+  const auto offsets = assign_subslots(4, 1.0, 2.7, 0.2, 0.5);
+  EXPECT_DOUBLE_EQ(offsets[0], 0.5);
+  EXPECT_DOUBLE_EQ(offsets[1], 1.7);
+  EXPECT_DOUBLE_EQ(offsets[2], 0.5);  // cycles with slots_per_period == 2
 }
 
 }  // namespace

@@ -32,10 +32,12 @@ TEST(Subslots, NonOverlappingWithinPeriod) {
 }
 
 TEST(Subslots, OversubscriptionCycles) {
-  // A 2-second period fits few 0.4 s slots; extra responders reuse them.
+  // A 2-second period fits three 0.4 s slots (0.2, 0.7, 1.2 — the next
+  // would end at 2.1 > 2.0); extra responders reuse them cyclically.
   const auto offsets = assign_subslots(10, 0.4, 2.0, 0.1, 0.2);
   ASSERT_EQ(offsets.size(), 10u);
-  EXPECT_DOUBLE_EQ(offsets[0], offsets[2]);  // slots_per_period == 2
+  EXPECT_DOUBLE_EQ(offsets[0], offsets[3]);  // slots_per_period == 3
+  for (const double o : offsets) EXPECT_LE(o + 0.4, 2.0 + 1e-9);
 }
 
 TEST(Subslots, InvalidArgumentsThrow) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "stats/cdf.h"
@@ -195,6 +196,22 @@ TEST(Histogram, InvalidConstruction) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, NanSamplesGetTheirOwnBucket) {
+  // Regression: NaN fails both the x < lo and x >= hi guards, so it used
+  // to reach the float-to-index cast — undefined behaviour (UBSan traps)
+  // that in practice corrupted bin 0. NaN mass now lands in nan().
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::nan(""), 2.0);
+  h.add(0.5);  // one honest sample for contrast
+  EXPECT_DOUBLE_EQ(h.nan(), 3.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 0.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 1.0);
 }
 
 TEST(Histogram, RenderProducesOneLinePerBin) {

@@ -13,6 +13,14 @@
 # writes its timings via --benchmark_out (JSON stays clean even though the
 # reproduction text shares stdout). Per-binary JSON lands in
 # bench-results/, the merged file in BENCH_RESULTS.json at the repo root.
+#
+# Alongside the timings the script records a structured run report
+# (obs::MetricsRegistry via `sinet --metrics`): a short instrumented
+# reference run whose event-queue / thread-pool / pass-cache / campaign
+# counters land in bench-results/run_report.json and are merged into
+# BENCH_RESULTS.json under "run_report", so workload shape (events
+# executed, cache hit rate, pool utilization) is diffable across PRs next
+# to the wall-times.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -50,7 +58,19 @@ for name in "${benches[@]}"; do
          --benchmark_out_format=json
 done
 
-# Merge: { "<bench binary>": <google-benchmark JSON>, ... }
+# Instrumented reference run: one day of the active experiment with a
+# metrics registry attached, so the report captures every layer (event
+# queue, thread pool, pass cache, net.dts campaign counters).
+sinet_cli="$build_dir/examples/sinet"
+if [[ -x "$sinet_cli" ]]; then
+  echo "== run report (sinet --metrics, active 1)"
+  "$sinet_cli" --metrics "$out_dir/run_report.json" active 1 > /dev/null
+else
+  echo "note: $sinet_cli not built; skipping run report" >&2
+fi
+
+# Merge: { "<bench binary>": <google-benchmark JSON>, ...,
+#          "run_report": <sinet.run_report.v1 JSON> }
 python3 - "$out_dir" "$repo_root/BENCH_RESULTS.json" <<'PY'
 import json, pathlib, sys
 
@@ -59,8 +79,12 @@ merged = {}
 for f in sorted(out_dir.glob("bench_*.json")):
     with open(f) as fh:
         merged[f.stem] = json.load(fh)
+report = out_dir / "run_report.json"
+if report.exists():
+    with open(report) as fh:
+        merged["run_report"] = json.load(fh)
 with open(merged_path, "w") as fh:
     json.dump(merged, fh, indent=1, sort_keys=True)
     fh.write("\n")
-print(f"wrote {merged_path} ({len(merged)} benches)")
+print(f"wrote {merged_path} ({len(merged)} entries)")
 PY
