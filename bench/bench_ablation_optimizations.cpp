@@ -36,7 +36,8 @@ void reproduce() {
            "mean attempts", "node airtime (s/day)"});
   for (const Variant& v : variants) {
     ActiveExperimentKnobs knobs;
-    knobs.duration_days = 5.0;
+    knobs.duration_days = sinet::bench::days_or(5.0);
+    knobs.seed = sinet::bench::flags().seed;
     net::DtsNetworkConfig cfg = make_active_config(knobs);
     if (v.scheduled)
       cfg.uplink_access = net::UplinkAccess::kScheduled;

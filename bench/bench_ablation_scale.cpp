@@ -18,7 +18,8 @@ using namespace sinet::core;
 
 net::DtsNetworkConfig config_with_nodes(int node_count, bool scheduled) {
   ActiveExperimentKnobs knobs;
-  knobs.duration_days = 3.0;
+  knobs.duration_days = sinet::bench::days_or(3.0);
+  knobs.seed = sinet::bench::flags().seed;
   net::DtsNetworkConfig cfg = make_active_config(knobs);
   const net::IotNodeConfig prototype = cfg.nodes.front();
   cfg.nodes.clear();

@@ -5,12 +5,57 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/report.h"
 
 namespace sinet::bench {
+
+/// Knobs every bench binary honors, so figure runs are reproducible and
+/// resizable without editing constants:
+///   --seed=N     root seed for replicate sweeps (default 42)
+///   --days=X     campaign duration override; 0 keeps each figure's default
+///   --threads=N  sweep fan-out (0 = shared pool, 1 = serial)
+/// SINET_BENCH_MAIN strips them from argv before google-benchmark sees it.
+struct BenchFlags {
+  std::uint64_t seed = 42;
+  double days = 0.0;
+  unsigned threads = 0;
+};
+
+inline BenchFlags& flags() {
+  static BenchFlags f;
+  return f;
+}
+
+/// The figure's duration default unless the user passed --days.
+inline double days_or(double fallback) {
+  return flags().days > 0.0 ? flags().days : fallback;
+}
+
+/// Consume --seed/--days/--threads from argv (leaving everything else,
+/// e.g. --benchmark_filter, for benchmark::Initialize).
+inline void parse_flags(int* argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seed=", 7) == 0) {
+      flags().seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--days=", 7) == 0) {
+      flags().days = std::strtod(arg + 7, nullptr);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      flags().threads =
+          static_cast<unsigned>(std::strtoul(arg + 10, nullptr, 10));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+}
 
 /// Print the experiment banner used by every bench binary.
 inline void banner(const std::string& exp_id, const std::string& title) {
@@ -25,9 +70,18 @@ inline void pvm(const std::string& metric, const std::string& paper,
               sinet::core::paper_vs_measured(metric, paper, measured).c_str());
 }
 
-/// Standard main: run the reproduction first, then the microbenchmarks.
+/// Print one "metric: mean [ci_low, ci_high] (n=N)" confidence-band line.
+inline void ci_band(const std::string& metric, double mean, double ci_low,
+                    double ci_high, std::size_t n) {
+  std::printf("  %-32s %.4g  [%.4g, %.4g]  (n=%zu)\n", metric.c_str(), mean,
+              ci_low, ci_high, n);
+}
+
+/// Standard main: strip sinet flags, run the reproduction, then the
+/// microbenchmarks.
 #define SINET_BENCH_MAIN(reproduce_fn)                         \
   int main(int argc, char** argv) {                            \
+    ::sinet::bench::parse_flags(&argc, argv);                  \
     reproduce_fn();                                            \
     ::benchmark::Initialize(&argc, argv);                      \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv))  \

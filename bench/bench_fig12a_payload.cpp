@@ -19,7 +19,8 @@ void reproduce() {
   std::vector<double> rel;
   for (const int payload : {10, 60, 120}) {
     ActiveExperimentKnobs knobs;
-    knobs.duration_days = 5.0;
+    knobs.duration_days = sinet::bench::days_or(5.0);
+    knobs.seed = sinet::bench::flags().seed;
     // Without ARQ, the single uplink attempt carries the payload effect
     // undiluted (the paper's Fig 12a distribution is over transmissions).
     knobs.max_retransmissions = 0;

@@ -16,7 +16,8 @@ void reproduce() {
   sinet::bench::banner("Fig 12b", "Reliability vs concurrent transmissions");
 
   ActiveExperimentKnobs knobs;
-  knobs.duration_days = 10.0;
+  knobs.duration_days = sinet::bench::days_or(10.0);
+  knobs.seed = sinet::bench::flags().seed;
   const auto cfg = make_active_config(knobs);
   const auto res = net::run_dts_network(cfg);
   const double end_unix =

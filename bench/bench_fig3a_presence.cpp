@@ -18,7 +18,7 @@ void reproduce() {
       "Fig 3a", "Daily presence duration across locations (theoretical)");
 
   AvailabilityOptions opts;
-  opts.duration_days = 2.0;
+  opts.duration_days = sinet::bench::days_or(2.0);
 
   Table t({"Constellation", "# SATs", "HK (h/day)", "SYD", "LDN", "PGH"});
   const auto sites = availability_sites();

@@ -14,7 +14,8 @@ using namespace sinet::core;
 void reproduce() {
   sinet::bench::banner("Fig 3b", "Signal strength of different constellations");
 
-  PassiveCampaignConfig cfg = default_campaign(3.0);
+  PassiveCampaignConfig cfg = default_campaign(sinet::bench::days_or(3.0));
+  cfg.seed = sinet::bench::flags().seed;
   const PassiveCampaignResult res = run_passive_campaign(cfg);
 
   Table t({"Constellation", "n", "p10 (dBm)", "p50", "p90", "min", "max"});

@@ -25,7 +25,8 @@ void reproduce() {
   sinet::bench::banner("Fig 3d",
                        "Beacon reception per Tianqi contact, by weather");
 
-  PassiveCampaignConfig cfg = default_campaign(4.0);
+  PassiveCampaignConfig cfg = default_campaign(sinet::bench::days_or(4.0));
+  cfg.seed = sinet::bench::flags().seed;
   cfg.sites = {paper_site("HK")};
   cfg.constellations = {orbit::paper_constellation("Tianqi")};
   const PassiveCampaignResult res = run_passive_campaign(cfg);

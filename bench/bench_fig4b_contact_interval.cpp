@@ -16,7 +16,8 @@ using namespace sinet::core;
 void reproduce() {
   sinet::bench::banner("Fig 4b", "Theoretical vs effective contact intervals");
 
-  PassiveCampaignConfig cfg = default_campaign(4.0);
+  PassiveCampaignConfig cfg = default_campaign(sinet::bench::days_or(4.0));
+  cfg.seed = sinet::bench::flags().seed;
   cfg.sites = {paper_site("HK")};
   const PassiveCampaignResult res = run_passive_campaign(cfg);
 

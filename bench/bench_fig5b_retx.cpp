@@ -36,7 +36,8 @@ void reproduce() {
   double best_zero = 0.0, worst_zero = 1.0;
   for (const Case& c : cases) {
     ActiveExperimentKnobs knobs;
-    knobs.duration_days = 5.0;
+    knobs.duration_days = sinet::bench::days_or(5.0);
+    knobs.seed = sinet::bench::flags().seed;
     knobs.max_retransmissions = 5;
     knobs.antenna = c.antenna;
     knobs.daily_weather = {c.weather};
@@ -62,7 +63,7 @@ void reproduce() {
   // The ACK-loss mechanism the paper calls out: count retransmissions of
   // packets the satellite had already received.
   ActiveExperimentKnobs knobs;
-  knobs.duration_days = 5.0;
+  knobs.duration_days = sinet::bench::days_or(5.0);
   const auto res = net::run_dts_network(make_active_config(knobs));
   const auto& c = res.counters;
   std::printf(

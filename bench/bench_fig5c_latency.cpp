@@ -15,7 +15,8 @@ void reproduce() {
   sinet::bench::banner("Fig 5c", "End-to-end latency: terr vs satellite");
 
   ActiveExperimentKnobs knobs;
-  knobs.duration_days = 7.0;
+  knobs.duration_days = sinet::bench::days_or(7.0);
+  knobs.seed = sinet::bench::flags().seed;
   const ActiveComparison cmp = run_active_comparison(knobs);
 
   const auto sat = summarize_latency(cmp.satellite);

@@ -15,7 +15,8 @@ void reproduce() {
   sinet::bench::banner("Fig 5d", "Tianqi latency decomposition");
 
   ActiveExperimentKnobs knobs;
-  knobs.duration_days = 7.0;
+  knobs.duration_days = sinet::bench::days_or(7.0);
+  knobs.seed = sinet::bench::flags().seed;
   const auto cfg = make_active_config(knobs);
   const auto res = net::run_dts_network(cfg);
   const auto lat = summarize_latency(res);

@@ -36,7 +36,8 @@ void reproduce() {
 
   // (b)+(c) residency and battery drain from a simulated deployment.
   ActiveExperimentKnobs knobs;
-  knobs.duration_days = 5.0;
+  knobs.duration_days = sinet::bench::days_or(5.0);
+  knobs.seed = sinet::bench::flags().seed;
   const auto res = net::run_dts_network(make_active_config(knobs));
   const ResidencyTracker& sim_res = res.node_residency.front();
   const ResidencyTracker terr_duty = terrestrial_daily_duty();

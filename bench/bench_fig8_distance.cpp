@@ -16,7 +16,8 @@ using namespace sinet::core;
 void reproduce() {
   sinet::bench::banner("Fig 8", "DtS communication distances");
 
-  PassiveCampaignConfig cfg = default_campaign(3.0);
+  PassiveCampaignConfig cfg = default_campaign(sinet::bench::days_or(3.0));
+  cfg.seed = sinet::bench::flags().seed;
   const PassiveCampaignResult res = run_passive_campaign(cfg);
 
   stats::EmpiricalCdf tianqi, low_orbit;

@@ -16,8 +16,6 @@ namespace {
 using namespace sinet;
 using namespace sinet::core;
 
-constexpr double kCampaignDays = 3.0;
-
 // Paper Table 1 rows: station count and total traces.
 struct PaperRow {
   const char* city;
@@ -33,7 +31,9 @@ constexpr PaperRow kPaper[] = {
 
 void reproduce() {
   sinet::bench::banner("Table 1", "Dataset overview (8 cities, 27 stations)");
-  const PassiveCampaignConfig cfg = default_campaign(kCampaignDays);
+  const double kCampaignDays = sinet::bench::days_or(3.0);
+  PassiveCampaignConfig cfg = default_campaign(kCampaignDays);
+  cfg.seed = sinet::bench::flags().seed;
   const PassiveCampaignResult res = run_passive_campaign(cfg);
 
   std::map<std::string, std::size_t> per_site;

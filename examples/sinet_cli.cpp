@@ -7,6 +7,8 @@
 //   sinet cost <sensors> <gateways>                    cost comparison
 //   sinet tle <file.tle> <lat> <lon>                   passes from a real
 //                                                      TLE catalog file
+//   sinet sweep <spec.json> <report.json>              Monte-Carlo sweep
+//                                                      (docs/SWEEPS.md)
 //
 // Thin argument handling on purpose: each subcommand is three or four
 // calls into the public API, mirroring what downstream users would write.
@@ -14,6 +16,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <string>
 #include <vector>
 
 #include "core/active_experiment.h"
@@ -22,6 +25,7 @@
 #include "core/passive_campaign.h"
 #include "core/report.h"
 #include "cost/cost_model.h"
+#include "exp/sweep_runner.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "orbit/tle_catalog.h"
@@ -47,10 +51,18 @@ int usage() {
       "  sinet active <days>\n"
       "  sinet cost <sensors> <gateways>\n"
       "  sinet tle <file.tle> <lat> <lon>\n"
+      "  sinet sweep <spec.json> <report.json> [--threads N]\n"
+      "              [--max-points N] [--fresh]\n"
       "\n"
       "  --metrics <out.json>  write a structured run report (event-queue,\n"
       "                        thread-pool, pass-cache and campaign\n"
-      "                        counters) after the subcommand finishes\n");
+      "                        counters) after the subcommand finishes\n"
+      "\n"
+      "  sweep runs the Monte-Carlo campaign described by <spec.json>\n"
+      "  (see docs/SWEEPS.md), checkpointing each completed point to\n"
+      "  <report.json>.manifest; re-running the same command resumes an\n"
+      "  interrupted sweep. --max-points stops after N new points,\n"
+      "  --fresh discards an existing manifest.\n");
   return 2;
 }
 
@@ -194,6 +206,53 @@ int cmd_tle(int argc, char** argv) {
   return 0;
 }
 
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 4) return usage();
+  exp::SweepOptions opts;
+  opts.metrics = g_metrics;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fresh") == 0) {
+      opts.fresh = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opts.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-points") == 0 && i + 1 < argc) {
+      opts.max_points = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      return usage();
+    }
+  }
+  const exp::SweepSpec spec = exp::read_spec_file(argv[2]);
+  const std::string report_path = argv[3];
+  opts.manifest_path = report_path + ".manifest";
+
+  const exp::SweepResult res = exp::run_sweep(spec, opts);
+  if (!exp::write_report_file(report_path, res)) {
+    std::fprintf(stderr, "cannot write %s\n", report_path.c_str());
+    return 1;
+  }
+
+  std::printf("sweep '%s' (%s): %zu/%zu points (%zu resumed, %zu run)%s\n",
+              spec.name.c_str(), spec.runner.c_str(), res.points.size(),
+              spec.point_count(), res.resumed_points, res.executed_points,
+              res.complete ? "" : " [incomplete]");
+  Table t({"cell", "params", "metric", "mean", "95% CI", "n"});
+  for (const auto& cell : res.cells) {
+    std::string params;
+    for (const auto& [k, v] : cell.params) {
+      if (!params.empty()) params += " ";
+      params += k + "=" + fmt(v, v == static_cast<int>(v) ? 0 : 2);
+    }
+    for (const auto& [name, agg] : cell.metrics)
+      t.add_row({std::to_string(cell.grid_index), params, name,
+                 fmt(agg.mean, 3),
+                 "[" + fmt(agg.ci_low, 3) + ", " + fmt(agg.ci_high, 3) + "]",
+                 std::to_string(agg.n)});
+  }
+  std::printf("%sreport written to %s\n", t.render().c_str(),
+              report_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,6 +284,7 @@ int main(int argc, char** argv) {
     else if (cmd == "active") rc = cmd_active(argc, argv);
     else if (cmd == "cost") rc = cmd_cost(argc, argv);
     else if (cmd == "tle") rc = cmd_tle(argc, argv);
+    else if (cmd == "sweep") rc = cmd_sweep(argc, argv);
     else return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,161 @@
+#include "exp/sweep_spec.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+#include "sim/rng.h"
+
+namespace sinet::exp {
+
+std::size_t SweepSpec::cell_count() const {
+  std::size_t n = 1;
+  for (const SweepAxis& axis : axes) n *= axis.values.size();
+  return n;
+}
+
+std::size_t SweepSpec::point_count() const {
+  return cell_count() * replicates;
+}
+
+PointParams SweepSpec::cell_params(std::size_t grid_index) const {
+  if (grid_index >= cell_count())
+    throw std::invalid_argument("SweepSpec::cell_params: index out of range");
+  PointParams params;
+  params.reserve(axes.size());
+  // Axis 0 varies fastest: peel indices off the flat index in order.
+  std::size_t rest = grid_index;
+  for (const SweepAxis& axis : axes) {
+    const std::size_t i = rest % axis.values.size();
+    rest /= axis.values.size();
+    params.emplace_back(axis.param, axis.values[i]);
+  }
+  return params;
+}
+
+void SweepSpec::validate() const {
+  if (runner.empty())
+    throw std::invalid_argument("SweepSpec: runner must be named");
+  if (replicates == 0)
+    throw std::invalid_argument("SweepSpec: replicates must be >= 1");
+  std::set<std::string> seen;
+  for (const SweepAxis& axis : axes) {
+    if (axis.param.empty())
+      throw std::invalid_argument("SweepSpec: axis with empty param name");
+    if (axis.values.empty())
+      throw std::invalid_argument("SweepSpec: axis '" + axis.param +
+                                  "' has no values");
+    if (!seen.insert(axis.param).second)
+      throw std::invalid_argument("SweepSpec: duplicate axis '" +
+                                  axis.param + "'");
+  }
+}
+
+double RunPoint::param_or(const std::string& name, double fallback) const {
+  for (const auto& [param, value] : params)
+    if (param == name) return value;
+  return fallback;
+}
+
+std::uint64_t point_seed(const SweepSpec& spec, std::size_t grid_index,
+                         std::size_t replicate) {
+  return sim::derive_seed(spec.root_seed,
+                          "point/" + std::to_string(grid_index) + "/rep/" +
+                              std::to_string(replicate));
+}
+
+std::vector<RunPoint> expand(const SweepSpec& spec) {
+  spec.validate();
+  std::vector<RunPoint> points;
+  points.reserve(spec.point_count());
+  for (std::size_t g = 0; g < spec.cell_count(); ++g) {
+    const PointParams params = spec.cell_params(g);
+    for (std::size_t r = 0; r < spec.replicates; ++r) {
+      RunPoint p;
+      p.grid_index = g;
+      p.replicate = r;
+      p.seed = point_seed(spec, g, r);
+      p.params = params;
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+std::string to_json(const SweepSpec& spec) {
+  std::string out = "{\n  \"schema\": \"";
+  out += kSweepSpecSchema;
+  out += "\",\n  \"name\": \"" + obs::json_escape(spec.name) + "\",\n";
+  out += "  \"runner\": \"" + obs::json_escape(spec.runner) + "\",\n";
+  out += "  \"root_seed\": " + obs::json_u64(spec.root_seed) + ",\n";
+  out += "  \"replicates\": " +
+         obs::json_u64(static_cast<std::uint64_t>(spec.replicates)) + ",\n";
+  out += "  \"axes\": [";
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    out += a == 0 ? "\n" : ",\n";
+    out += "    {\"param\": \"" + obs::json_escape(spec.axes[a].param) +
+           "\", \"values\": [";
+    for (std::size_t i = 0; i < spec.axes[a].values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += obs::json_double(spec.axes[a].values[i]);
+    }
+    out += "]}";
+  }
+  out += spec.axes.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+SweepSpec parse_spec_json(const std::string& json) {
+  obs::JsonCursor cur(json);
+  SweepSpec spec;
+  spec.replicates = 0;  // must come from the document
+  bool schema_ok = false;
+  obs::parse_json_object(cur, [&](const std::string& key) {
+    if (key == "schema") {
+      if (cur.parse_string() != kSweepSpecSchema)
+        cur.fail("unsupported schema");
+      schema_ok = true;
+    } else if (key == "name") {
+      spec.name = cur.parse_string();
+    } else if (key == "runner") {
+      spec.runner = cur.parse_string();
+    } else if (key == "root_seed") {
+      spec.root_seed = cur.parse_u64();
+    } else if (key == "replicates") {
+      spec.replicates = static_cast<std::size_t>(cur.parse_u64());
+    } else if (key == "axes") {
+      obs::parse_json_array(cur, [&] {
+        SweepAxis axis;
+        obs::parse_json_object(cur, [&](const std::string& k) {
+          if (k == "param") {
+            axis.param = cur.parse_string();
+          } else if (k == "values") {
+            obs::parse_json_array(
+                cur, [&] { axis.values.push_back(cur.parse_double()); });
+          } else {
+            cur.fail("unknown axis field '" + k + "'");
+          }
+        });
+        spec.axes.push_back(std::move(axis));
+      });
+    } else {
+      cur.fail("unknown top-level key '" + key + "'");
+    }
+  });
+  if (!schema_ok)
+    throw std::runtime_error("sweep spec parse error: missing schema tag");
+  spec.validate();
+  return spec;
+}
+
+SweepSpec read_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open sweep spec " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_spec_json(buf.str());
+}
+
+}  // namespace sinet::exp

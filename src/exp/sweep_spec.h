@@ -1,0 +1,112 @@
+// Declarative Monte-Carlo sweep specifications.
+//
+// A SweepSpec is the unit a campaign is described in: a parameter grid
+// (axes of named values), a replicate count and a root seed. It expands
+// into a deterministic, ordered list of RunPoints — one per (grid cell,
+// replicate) — each carrying its own seed derived as
+//
+//   sim::derive_seed(root_seed, "point/<grid-index>/rep/<replicate>")
+//
+// so the draws of a point depend only on its grid index and replicate
+// number: adding replicates never perturbs existing ones, and because
+// axis 0 varies fastest in the flat grid index, *appending* a new axis
+// keeps the indices of all existing cells (they become the new axis's
+// first value).
+//
+// Specs round-trip through a small JSON schema ("sinet.sweep_spec.v1",
+// same conventions as obs::run_report):
+//
+//   {
+//     "schema": "sinet.sweep_spec.v1",
+//     "name": "fig5a-arq",
+//     "runner": "active",
+//     "root_seed": 42,
+//     "replicates": 10,
+//     "axes": [
+//       {"param": "max_retransmissions", "values": [0, 5]},
+//       {"param": "duration_days", "values": [3]}
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sinet::exp {
+
+/// Schema tag stamped into every serialized spec.
+inline constexpr const char* kSweepSpecSchema = "sinet.sweep_spec.v1";
+
+/// One grid axis: a named parameter and the values it sweeps over.
+struct SweepAxis {
+  std::string param;
+  std::vector<double> values;
+  friend bool operator==(const SweepAxis&, const SweepAxis&) = default;
+};
+
+/// Ordered (param, value) assignment of one grid cell.
+using PointParams = std::vector<std::pair<std::string, double>>;
+
+struct SweepSpec {
+  std::string name;
+  /// Which runner executes each point: a built-in name ("active",
+  /// "passive", "availability") for the CLI path, or any tag when the
+  /// caller supplies its own PointRunner (exp/sweep_runner.h).
+  std::string runner;
+  std::uint64_t root_seed = 42;
+  std::size_t replicates = 10;
+  /// Axis 0 varies fastest in the flat grid index. No axes = one cell.
+  std::vector<SweepAxis> axes;
+
+  /// Number of grid cells (product of axis lengths; 1 when no axes).
+  [[nodiscard]] std::size_t cell_count() const;
+  /// cell_count() * replicates.
+  [[nodiscard]] std::size_t point_count() const;
+  /// Decode a flat grid index into its (param, value) assignment.
+  [[nodiscard]] PointParams cell_params(std::size_t grid_index) const;
+
+  /// Throws std::invalid_argument on an unusable spec (no replicates,
+  /// empty axis, duplicate/empty param name, empty runner).
+  void validate() const;
+
+  friend bool operator==(const SweepSpec&, const SweepSpec&) = default;
+};
+
+/// One concrete run: a grid cell, a replicate number and the seed the
+/// run must use.
+struct RunPoint {
+  std::size_t grid_index = 0;
+  std::size_t replicate = 0;
+  std::uint64_t seed = 0;
+  PointParams params;
+
+  /// Value of a parameter, or `fallback` when the grid doesn't carry it.
+  [[nodiscard]] double param_or(const std::string& name,
+                                double fallback) const;
+
+  friend bool operator==(const RunPoint&, const RunPoint&) = default;
+};
+
+/// The seed of (grid_index, replicate) under `spec`'s root seed.
+[[nodiscard]] std::uint64_t point_seed(const SweepSpec& spec,
+                                       std::size_t grid_index,
+                                       std::size_t replicate);
+
+/// Expand the grid into points ordered by (grid_index, replicate).
+/// Validates the spec first.
+[[nodiscard]] std::vector<RunPoint> expand(const SweepSpec& spec);
+
+/// Serialize a spec; parse_spec_json(to_json(s)) == s bit-exactly.
+[[nodiscard]] std::string to_json(const SweepSpec& spec);
+
+/// Parse a document produced by to_json() (or hand-written to the same
+/// schema). Throws std::runtime_error on malformed input or a schema
+/// mismatch; the result is validate()d.
+[[nodiscard]] SweepSpec parse_spec_json(const std::string& json);
+
+/// Read and parse a spec file. Throws std::runtime_error if unreadable.
+[[nodiscard]] SweepSpec read_spec_file(const std::string& path);
+
+}  // namespace sinet::exp

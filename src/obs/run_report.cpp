@@ -1,165 +1,17 @@
 #include "obs/run_report.h"
 
-#include <cctype>
-#include <cinttypes>
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <stdexcept>
+
+#include "obs/json.h"
 
 namespace sinet::obs {
 
 namespace {
 
-std::string fmt_double(double x) {
-  char buf[40];
-  // 17 significant digits: enough for strtod to reproduce the exact bits.
-  std::snprintf(buf, sizeof(buf), "%.17g", x);
-  return buf;
-}
-
-std::string fmt_u64(std::uint64_t x) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%" PRIu64, x);
-  return buf;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// Minimal cursor-based parser for the subset of JSON to_json() emits.
-class JsonCursor {
- public:
-  explicit JsonCursor(const std::string& text) : text_(text) {}
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  [[nodiscard]] bool peek_is(char c) {
-    skip_ws();
-    return pos_ < text_.size() && text_[pos_] == c;
-  }
-
-  void expect(char c) {
-    skip_ws();
-    if (pos_ >= text_.size() || text_[pos_] != c)
-      fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  [[nodiscard]] bool consume_if(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  [[nodiscard]] std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("dangling escape");
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'n': c = '\n'; break;
-          case 'r': c = '\r'; break;
-          case 't': c = '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) fail("short \\u escape");
-            const unsigned long code =
-                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
-            pos_ += 4;
-            // Reports only escape ASCII control characters.
-            c = static_cast<char>(code & 0x7f);
-            break;
-          }
-          default: fail("unknown escape");
-        }
-      }
-      out += c;
-    }
-    expect('"');
-    return out;
-  }
-
-  [[nodiscard]] double parse_double() {
-    skip_ws();
-    const char* begin = text_.c_str() + pos_;
-    char* end = nullptr;
-    const double v = std::strtod(begin, &end);
-    if (end == begin) fail("expected number");
-    pos_ += static_cast<std::size_t>(end - begin);
-    return v;
-  }
-
-  [[nodiscard]] std::uint64_t parse_u64() {
-    skip_ws();
-    const char* begin = text_.c_str() + pos_;
-    char* end = nullptr;
-    const std::uint64_t v = std::strtoull(begin, &end, 10);
-    if (end == begin) fail("expected integer");
-    pos_ += static_cast<std::size_t>(end - begin);
-    return v;
-  }
-
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("run report parse error at offset " +
-                             std::to_string(pos_) + ": " + what);
-  }
-
- private:
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-/// Parse `{ "key": <value>, ... }` invoking `on_entry(key)` positioned at
-/// each value. Handles the empty object.
-template <typename Fn>
-void parse_object(JsonCursor& cur, Fn&& on_entry) {
-  cur.expect('{');
-  if (cur.consume_if('}')) return;
-  do {
-    const std::string key = cur.parse_string();
-    cur.expect(':');
-    on_entry(key);
-  } while (cur.consume_if(','));
-  cur.expect('}');
-}
-
 GaugeSnapshot parse_gauge(JsonCursor& cur) {
   GaugeSnapshot g;
-  parse_object(cur, [&](const std::string& key) {
+  parse_json_object(cur, [&](const std::string& key) {
     if (key == "value")
       g.value = cur.parse_double();
     else if (key == "max")
@@ -172,7 +24,7 @@ GaugeSnapshot parse_gauge(JsonCursor& cur) {
 
 HistogramSnapshot parse_histogram(JsonCursor& cur) {
   HistogramSnapshot h;
-  parse_object(cur, [&](const std::string& key) {
+  parse_json_object(cur, [&](const std::string& key) {
     if (key == "lo") h.lo = cur.parse_double();
     else if (key == "hi") h.hi = cur.parse_double();
     else if (key == "underflow") h.underflow = cur.parse_u64();
@@ -183,13 +35,7 @@ HistogramSnapshot parse_histogram(JsonCursor& cur) {
     else if (key == "min") h.min = cur.parse_double();
     else if (key == "max") h.max = cur.parse_double();
     else if (key == "bins") {
-      cur.expect('[');
-      if (!cur.consume_if(']')) {
-        do {
-          h.bins.push_back(cur.parse_u64());
-        } while (cur.consume_if(','));
-        cur.expect(']');
-      }
+      parse_json_array(cur, [&] { h.bins.push_back(cur.parse_u64()); });
     } else {
       cur.fail("unknown histogram field '" + key + "'");
     }
@@ -215,7 +61,7 @@ std::string to_json(const Snapshot& snapshot) {
   first = true;
   for (const auto& [k, v] : snapshot.counters) {
     out += first ? "\n" : ",\n";
-    out += "    \"" + json_escape(k) + "\": " + fmt_u64(v);
+    out += "    \"" + json_escape(k) + "\": " + json_u64(v);
     first = false;
   }
   out += first ? "},\n" : "\n  },\n";
@@ -225,7 +71,7 @@ std::string to_json(const Snapshot& snapshot) {
   for (const auto& [k, g] : snapshot.gauges) {
     out += first ? "\n" : ",\n";
     out += "    \"" + json_escape(k) + "\": {\"value\": " +
-           fmt_double(g.value) + ", \"max\": " + fmt_double(g.max) + "}";
+           json_double(g.value) + ", \"max\": " + json_double(g.max) + "}";
     first = false;
   }
   out += first ? "},\n" : "\n  },\n";
@@ -234,18 +80,18 @@ std::string to_json(const Snapshot& snapshot) {
   first = true;
   for (const auto& [k, h] : snapshot.histograms) {
     out += first ? "\n" : ",\n";
-    out += "    \"" + json_escape(k) + "\": {\"lo\": " + fmt_double(h.lo) +
-           ", \"hi\": " + fmt_double(h.hi) +
-           ", \"underflow\": " + fmt_u64(h.underflow) +
-           ", \"overflow\": " + fmt_u64(h.overflow) +
-           ", \"nan\": " + fmt_u64(h.nan_count) +
-           ", \"total\": " + fmt_u64(h.total) +
-           ", \"sum\": " + fmt_double(h.sum) +
-           ", \"min\": " + fmt_double(h.min) +
-           ", \"max\": " + fmt_double(h.max) + ", \"bins\": [";
+    out += "    \"" + json_escape(k) + "\": {\"lo\": " + json_double(h.lo) +
+           ", \"hi\": " + json_double(h.hi) +
+           ", \"underflow\": " + json_u64(h.underflow) +
+           ", \"overflow\": " + json_u64(h.overflow) +
+           ", \"nan\": " + json_u64(h.nan_count) +
+           ", \"total\": " + json_u64(h.total) +
+           ", \"sum\": " + json_double(h.sum) +
+           ", \"min\": " + json_double(h.min) +
+           ", \"max\": " + json_double(h.max) + ", \"bins\": [";
     for (std::size_t i = 0; i < h.bins.size(); ++i) {
       if (i > 0) out += ", ";
-      out += fmt_u64(h.bins[i]);
+      out += json_u64(h.bins[i]);
     }
     out += "]}";
     first = false;
@@ -259,24 +105,24 @@ std::string to_csv(const Snapshot& snapshot) {
   for (const auto& [k, v] : snapshot.info)
     out += "info," + k + ",value," + v + "\n";
   for (const auto& [k, v] : snapshot.counters)
-    out += "counter," + k + ",value," + fmt_u64(v) + "\n";
+    out += "counter," + k + ",value," + json_u64(v) + "\n";
   for (const auto& [k, g] : snapshot.gauges) {
-    out += "gauge," + k + ",value," + fmt_double(g.value) + "\n";
-    out += "gauge," + k + ",max," + fmt_double(g.max) + "\n";
+    out += "gauge," + k + ",value," + json_double(g.value) + "\n";
+    out += "gauge," + k + ",max," + json_double(g.max) + "\n";
   }
   for (const auto& [k, h] : snapshot.histograms) {
-    out += "histogram," + k + ",lo," + fmt_double(h.lo) + "\n";
-    out += "histogram," + k + ",hi," + fmt_double(h.hi) + "\n";
-    out += "histogram," + k + ",underflow," + fmt_u64(h.underflow) + "\n";
-    out += "histogram," + k + ",overflow," + fmt_u64(h.overflow) + "\n";
-    out += "histogram," + k + ",nan," + fmt_u64(h.nan_count) + "\n";
-    out += "histogram," + k + ",total," + fmt_u64(h.total) + "\n";
-    out += "histogram," + k + ",sum," + fmt_double(h.sum) + "\n";
-    out += "histogram," + k + ",min," + fmt_double(h.min) + "\n";
-    out += "histogram," + k + ",max," + fmt_double(h.max) + "\n";
+    out += "histogram," + k + ",lo," + json_double(h.lo) + "\n";
+    out += "histogram," + k + ",hi," + json_double(h.hi) + "\n";
+    out += "histogram," + k + ",underflow," + json_u64(h.underflow) + "\n";
+    out += "histogram," + k + ",overflow," + json_u64(h.overflow) + "\n";
+    out += "histogram," + k + ",nan," + json_u64(h.nan_count) + "\n";
+    out += "histogram," + k + ",total," + json_u64(h.total) + "\n";
+    out += "histogram," + k + ",sum," + json_double(h.sum) + "\n";
+    out += "histogram," + k + ",min," + json_double(h.min) + "\n";
+    out += "histogram," + k + ",max," + json_double(h.max) + "\n";
     for (std::size_t i = 0; i < h.bins.size(); ++i)
       out += "histogram," + k + ",bin" + std::to_string(i) + "," +
-             fmt_u64(h.bins[i]) + "\n";
+             json_u64(h.bins[i]) + "\n";
   }
   return out;
 }
@@ -285,25 +131,25 @@ Snapshot parse_json(const std::string& json) {
   JsonCursor cur(json);
   Snapshot s;
   bool schema_ok = false;
-  parse_object(cur, [&](const std::string& key) {
+  parse_json_object(cur, [&](const std::string& key) {
     if (key == "schema") {
       if (cur.parse_string() != kRunReportSchema)
         cur.fail("unsupported schema");
       schema_ok = true;
     } else if (key == "info") {
-      parse_object(cur, [&](const std::string& k) {
+      parse_json_object(cur, [&](const std::string& k) {
         s.info[k] = cur.parse_string();
       });
     } else if (key == "counters") {
-      parse_object(cur, [&](const std::string& k) {
+      parse_json_object(cur, [&](const std::string& k) {
         s.counters[k] = cur.parse_u64();
       });
     } else if (key == "gauges") {
-      parse_object(cur, [&](const std::string& k) {
+      parse_json_object(cur, [&](const std::string& k) {
         s.gauges[k] = parse_gauge(cur);
       });
     } else if (key == "histograms") {
-      parse_object(cur, [&](const std::string& k) {
+      parse_json_object(cur, [&](const std::string& k) {
         s.histograms[k] = parse_histogram(cur);
       });
     } else {

@@ -3,6 +3,13 @@
 // Every stochastic component (channel fading, packet jitter, weather, ...)
 // draws from its own named stream so that adding a component never
 // perturbs the draws of another — runs stay comparable across versions.
+//
+// Cross-platform determinism: every distribution below is an explicit
+// algorithm over the raw (fully specified) mt19937_64 output — no
+// std::*_distribution, whose sequences are implementation-defined and
+// differ between standard libraries. This is what lets a sweep manifest
+// written on one toolchain resume on another (see exp/sweep_runner.h);
+// test_sim.cpp pins golden values for each helper.
 #pragma once
 
 #include <cstdint>
@@ -17,13 +24,17 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
 
-  /// Uniform in [0, 1).
+  /// Raw 64-bit engine draw (the primitive every helper is built on).
+  std::uint64_t next_u64() { return engine_(); }
+  /// Uniform in [0, 1), 53-bit resolution: (next_u64() >> 11) * 2^-53.
   double uniform();
   /// Uniform in [lo, hi). Requires hi >= lo.
   double uniform(double lo, double hi);
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive (unbiased rejection sampling
+  /// over raw draws).
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
-  /// Standard normal (mean 0, stddev 1).
+  /// Standard normal (mean 0, stddev 1) by inverse-transform sampling
+  /// (Wichura's AS241 PPND16 inverse CDF); one uniform per draw.
   double normal();
   /// Normal with given mean / stddev.
   double normal(double mean, double stddev);

@@ -1,0 +1,324 @@
+// Monte-Carlo sweep engine: spec round-trip, deterministic expansion,
+// thread-count parity, and the kill-and-resume bit-identity guarantee.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/sweep_runner.h"
+#include "exp/sweep_spec.h"
+#include "obs/metrics.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace sinet;
+using namespace sinet::exp;
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.name = "unit";
+  spec.runner = "synthetic";
+  spec.root_seed = 42;
+  spec.replicates = 3;
+  spec.axes = {{"alpha", {0.5, 1.5}}, {"beta", {10.0, 20.0}}};
+  return spec;
+}
+
+/// Cheap deterministic runner: metrics are pure functions of the point's
+/// seed and params, with a few RNG draws so replicates actually differ.
+PointMetrics synthetic_runner(const RunPoint& p) {
+  sim::Rng rng(p.seed);
+  const double alpha = p.param_or("alpha", 0.0);
+  const double beta = p.param_or("beta", 0.0);
+  return {{"score", alpha * beta + rng.normal()},
+          {"noise", rng.uniform()}};
+}
+
+std::string temp_path(const std::string& stem) {
+  return testing::TempDir() + stem;
+}
+
+TEST(SweepSpec, CountsAndCellDecoding) {
+  const SweepSpec spec = small_spec();
+  EXPECT_EQ(spec.cell_count(), 4u);
+  EXPECT_EQ(spec.point_count(), 12u);
+  // Axis 0 varies fastest.
+  const PointParams p0 = spec.cell_params(0);
+  const PointParams p1 = spec.cell_params(1);
+  const PointParams p2 = spec.cell_params(2);
+  EXPECT_EQ(p0[0].second, 0.5);
+  EXPECT_EQ(p0[1].second, 10.0);
+  EXPECT_EQ(p1[0].second, 1.5);
+  EXPECT_EQ(p1[1].second, 10.0);
+  EXPECT_EQ(p2[0].second, 0.5);
+  EXPECT_EQ(p2[1].second, 20.0);
+  EXPECT_THROW((void)spec.cell_params(4), std::invalid_argument);
+}
+
+TEST(SweepSpec, ValidateRejectsBadSpecs) {
+  SweepSpec spec = small_spec();
+  spec.replicates = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.runner.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.axes.push_back({"alpha", {1.0}});  // duplicate param
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.axes.push_back({"gamma", {}});  // empty axis
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(SweepSpec, JsonRoundTripIsExact) {
+  const SweepSpec spec = small_spec();
+  EXPECT_EQ(parse_spec_json(to_json(spec)), spec);
+  // And a spec with no axes (single cell) survives too.
+  SweepSpec flat;
+  flat.name = "flat";
+  flat.runner = "active";
+  flat.replicates = 1;
+  EXPECT_EQ(parse_spec_json(to_json(flat)), flat);
+}
+
+TEST(SweepSpec, ParseRejectsGarbage) {
+  EXPECT_THROW((void)parse_spec_json("not json"), std::runtime_error);
+  EXPECT_THROW((void)parse_spec_json("{}"), std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_spec_json(
+          "{\"schema\": \"sinet.sweep_spec.v2\", \"runner\": \"x\"}"),
+      std::runtime_error);
+}
+
+TEST(SweepSpec, ExpansionSeedsFollowTheDerivationScheme) {
+  const SweepSpec spec = small_spec();
+  const auto points = expand(spec);
+  ASSERT_EQ(points.size(), 12u);
+  for (const RunPoint& p : points) {
+    EXPECT_EQ(p.seed,
+              sim::derive_seed(spec.root_seed,
+                               "point/" + std::to_string(p.grid_index) +
+                                   "/rep/" + std::to_string(p.replicate)));
+    EXPECT_EQ(p.params, spec.cell_params(p.grid_index));
+  }
+  // Ordered by (grid_index, replicate).
+  EXPECT_EQ(points[0].grid_index, 0u);
+  EXPECT_EQ(points[0].replicate, 0u);
+  EXPECT_EQ(points[2].replicate, 2u);
+  EXPECT_EQ(points[3].grid_index, 1u);
+}
+
+TEST(SweepSpec, AddingReplicatesKeepsExistingSeeds) {
+  SweepSpec spec = small_spec();
+  const auto before = expand(spec);
+  spec.replicates += 5;
+  const auto after = expand(spec);
+  for (const RunPoint& p : before) {
+    const std::size_t i = p.grid_index * spec.replicates + p.replicate;
+    EXPECT_EQ(after[i].seed, p.seed);
+  }
+}
+
+TEST(SweepSpec, AppendingAnAxisKeepsExistingCellIndices) {
+  SweepSpec spec = small_spec();
+  const auto before = expand(spec);
+  // Appending an axis: existing cells become the new axis's first value
+  // and keep their flat indices (axis 0 varies fastest), so their seeds
+  // and draws are unperturbed.
+  spec.axes.push_back({"gamma", {1.0, 2.0}});
+  const auto after = expand(spec);
+  for (std::size_t g = 0; g < 4; ++g)
+    for (std::size_t r = 0; r < spec.replicates; ++r) {
+      const std::size_t i = g * spec.replicates + r;
+      EXPECT_EQ(after[i].grid_index, g);
+      EXPECT_EQ(after[i].seed, before[i].seed);
+      EXPECT_EQ(after[i].param_or("gamma", -1.0), 1.0);
+    }
+}
+
+TEST(SweepRunner, BuiltInRunnersResolve) {
+  EXPECT_NO_THROW((void)built_in_runner("active"));
+  EXPECT_NO_THROW((void)built_in_runner("passive"));
+  EXPECT_NO_THROW((void)built_in_runner("availability"));
+  EXPECT_THROW((void)built_in_runner("nope"), std::invalid_argument);
+}
+
+TEST(SweepAccumulator, AggregateIsInsertionOrderIndependent) {
+  const SweepSpec spec = small_spec();
+  const auto points = expand(spec);
+  SweepAccumulator fwd, rev;
+  for (const RunPoint& p : points) fwd.add(p, synthetic_runner(p));
+  for (auto it = points.rbegin(); it != points.rend(); ++it)
+    rev.add(*it, synthetic_runner(*it));
+  EXPECT_EQ(fwd.aggregate(spec.root_seed), rev.aggregate(spec.root_seed));
+}
+
+TEST(SweepAccumulator, MeanAndStddevAreCorrect) {
+  SweepAccumulator acc;
+  RunPoint p;
+  for (std::size_t r = 0; r < 3; ++r) {
+    p.replicate = r;
+    acc.add(p, {{"m", static_cast<double>(r + 1)}});  // 1, 2, 3
+  }
+  const auto cells = acc.aggregate(7);
+  ASSERT_EQ(cells.size(), 1u);
+  const MetricAggregate& m = cells[0].metrics.at("m");
+  EXPECT_EQ(m.n, 3u);
+  EXPECT_DOUBLE_EQ(m.mean, 2.0);
+  EXPECT_DOUBLE_EQ(m.stddev, 1.0);
+  EXPECT_LE(m.ci_low, m.mean);
+  EXPECT_GE(m.ci_high, m.mean);
+}
+
+TEST(SweepRunner, ThreadCountsProduceIdenticalResults) {
+  const SweepSpec spec = small_spec();
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions pooled;
+  pooled.threads = 4;
+  const SweepResult a = run_sweep(spec, synthetic_runner, serial);
+  const SweepResult b = run_sweep(spec, synthetic_runner, pooled);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].first, b.points[i].first);
+    EXPECT_EQ(a.points[i].second, b.points[i].second);
+  }
+  EXPECT_EQ(a.cells, b.cells);
+  EXPECT_EQ(report_json(a), report_json(b));
+}
+
+TEST(SweepRunner, InterruptedThenResumedIsBitIdentical) {
+  const SweepSpec spec = small_spec();
+  const std::string manifest = temp_path("sweep_resume.manifest");
+
+  SweepOptions uninterrupted;
+  uninterrupted.threads = 2;
+  const SweepResult full = run_sweep(spec, synthetic_runner, uninterrupted);
+  ASSERT_TRUE(full.complete);
+
+  SweepOptions part;
+  part.threads = 2;
+  part.manifest_path = manifest;
+  part.fresh = true;
+  part.max_points = 5;  // "killed" after 5 of 12 points
+  const SweepResult interrupted = run_sweep(spec, synthetic_runner, part);
+  EXPECT_FALSE(interrupted.complete);
+  EXPECT_EQ(interrupted.executed_points, 5u);
+
+  SweepOptions resume;
+  resume.threads = 2;
+  resume.manifest_path = manifest;
+  const SweepResult resumed = run_sweep(spec, synthetic_runner, resume);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.resumed_points, 5u);
+  EXPECT_EQ(resumed.executed_points, 7u);
+
+  EXPECT_EQ(resumed.points, full.points);
+  EXPECT_EQ(resumed.cells, full.cells);
+  // The acceptance criterion: byte-identical aggregate documents.
+  EXPECT_EQ(report_json(resumed), report_json(full));
+  std::remove(manifest.c_str());
+}
+
+TEST(SweepRunner, ManifestFromDifferentSpecIsRejected) {
+  const SweepSpec spec = small_spec();
+  const std::string manifest = temp_path("sweep_mismatch.manifest");
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.manifest_path = manifest;
+  opts.fresh = true;
+  (void)run_sweep(spec, synthetic_runner, opts);
+
+  SweepSpec changed = spec;
+  changed.root_seed = 43;
+  SweepOptions resume;
+  resume.threads = 1;
+  resume.manifest_path = manifest;
+  EXPECT_THROW((void)run_sweep(changed, synthetic_runner, resume),
+               std::runtime_error);
+  // --fresh overrides the stale manifest.
+  resume.fresh = true;
+  EXPECT_NO_THROW((void)run_sweep(changed, synthetic_runner, resume));
+  std::remove(manifest.c_str());
+}
+
+TEST(SweepRunner, TornFinalManifestLineIsDropped) {
+  const SweepSpec spec = small_spec();
+  const std::string manifest = temp_path("sweep_torn.manifest");
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.manifest_path = manifest;
+  opts.fresh = true;
+  opts.max_points = 4;
+  (void)run_sweep(spec, synthetic_runner, opts);
+
+  // Simulate a kill mid-append: truncate the last line in half.
+  std::ifstream in(manifest);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  in.close();
+  std::string contents = buf.str();
+  contents.resize(contents.size() - 20);
+  std::ofstream(manifest, std::ios::trunc) << contents;
+
+  SweepOptions resume;
+  resume.threads = 1;
+  resume.manifest_path = manifest;
+  const SweepResult resumed = run_sweep(spec, synthetic_runner, resume);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.resumed_points, 3u);  // the torn 4th point re-ran
+
+  SweepOptions serial;
+  serial.threads = 1;
+  const SweepResult full = run_sweep(spec, synthetic_runner, serial);
+  EXPECT_EQ(report_json(resumed), report_json(full));
+  std::remove(manifest.c_str());
+}
+
+TEST(SweepRunner, ActiveBuiltInRunsAndRecordsMetrics) {
+  SweepSpec spec;
+  spec.name = "active-smoke";
+  spec.runner = "active";
+  spec.root_seed = 7;
+  spec.replicates = 2;
+  spec.axes = {{"duration_days", {0.5}}, {"max_retransmissions", {0.0}}};
+  obs::MetricsRegistry registry;
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.metrics = &registry;
+  const SweepResult res = run_sweep(spec, opts);
+  ASSERT_TRUE(res.complete);
+  ASSERT_EQ(res.cells.size(), 1u);
+  const auto& metrics = res.cells[0].metrics;
+  ASSERT_TRUE(metrics.contains("reliability"));
+  EXPECT_GT(metrics.at("reliability").mean, 0.0);
+  EXPECT_LE(metrics.at("reliability").mean, 1.0);
+  EXPECT_EQ(metrics.at("reliability").n, 2u);
+  // Replicates differ (different seeds), so the CI has width.
+  EXPECT_LT(metrics.at("mean_latency_min").ci_low,
+            metrics.at("mean_latency_min").ci_high);
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("net.sweep.points_total"), 2u);
+  EXPECT_EQ(snap.counters.at("net.sweep.points_executed"), 2u);
+  EXPECT_EQ(snap.counters.at("net.sweep.cells"), 1u);
+  EXPECT_TRUE(snap.gauges.contains("net.sweep.phase.execute_s"));
+}
+
+TEST(SweepRunner, ReportJsonCarriesSchemaAndCells) {
+  const SweepSpec spec = small_spec();
+  SweepOptions serial;
+  serial.threads = 1;
+  const SweepResult res = run_sweep(spec, synthetic_runner, serial);
+  const std::string json = report_json(res);
+  EXPECT_NE(json.find("\"schema\": \"sinet.sweep_report.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"complete\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"grid_index\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"score\""), std::string::npos);
+}
+
+}  // namespace
