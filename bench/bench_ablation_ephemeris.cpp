@@ -1,0 +1,196 @@
+// Ablation — the shared-ephemeris pass-prediction engine. Times the
+// full-campaign pass-prediction workload (39 satellites x 8 sites, the
+// geometry behind Table 1 / Figs 3-4) in three single-thread arms:
+//
+//   legacy         per-pair predict_passes (one SGP4 propagation + GMST
+//                  per coarse sample per pair)
+//   shared         scan_pass_pairs with culling off: each satellite
+//                  propagated once per sample, shared across all 8 sites
+//   shared+culled  scan_pass_pairs with the conservative horizon-cone
+//                  cull skipping provably-below-mask stretches
+//
+// All three arms emit bit-identical windows (asserted here before the
+// timings), so the speedup is free of accuracy trade-offs. The 30-day
+// BM_CampaignScan_* rows are the numbers tracked in BENCH_RESULTS.json.
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <vector>
+
+#include "core/scenario.h"
+#include "obs/metrics.h"
+#include "orbit/constellation.h"
+#include "orbit/ephemeris.h"
+#include "orbit/passes.h"
+
+namespace {
+
+using namespace sinet;
+using namespace sinet::core;
+using namespace sinet::orbit;
+
+std::vector<Tle> campaign_tles() {
+  std::vector<Tle> tles;
+  for (const ConstellationSpec& spec : paper_constellations()) {
+    const auto batch = generate_tles(spec, campaign_epoch_jd());
+    tles.insert(tles.end(), batch.begin(), batch.end());
+  }
+  return tles;
+}
+
+struct Workload {
+  std::vector<Tle> tles;
+  std::vector<Sgp4> props;
+  std::vector<const Sgp4*> sat_ptrs;
+  std::vector<GridObserver> observers;
+  std::vector<PairTask> pairs;
+};
+
+Workload campaign_workload() {
+  Workload w;
+  w.tles = campaign_tles();
+  w.props.reserve(w.tles.size());
+  for (const Tle& tle : w.tles) w.props.emplace_back(tle);
+  for (const Sgp4& prop : w.props) w.sat_ptrs.push_back(&prop);
+  for (const MeasurementSite& site : paper_measurement_sites())
+    w.observers.push_back(GridObserver{site.location});
+  for (std::size_t s = 0; s < w.props.size(); ++s)
+    for (std::size_t o = 0; o < w.observers.size(); ++o)
+      w.pairs.push_back(PairTask{s, o});
+  return w;
+}
+
+std::vector<std::vector<ContactWindow>> run_legacy(const Workload& w,
+                                                   double span_days) {
+  const JulianDate start = campaign_epoch_jd();
+  std::vector<std::vector<ContactWindow>> out;
+  out.reserve(w.pairs.size());
+  for (const PairTask& p : w.pairs)
+    out.push_back(predict_passes(*w.sat_ptrs[p.satellite],
+                                 w.observers[p.observer].location, start,
+                                 start + span_days));
+  return out;
+}
+
+std::vector<std::vector<ContactWindow>> run_engine(
+    const Workload& w, double span_days, bool cull,
+    obs::MetricsRegistry* metrics = nullptr) {
+  const JulianDate start = campaign_epoch_jd();
+  EphemerisScanOptions scan_opts;
+  scan_opts.cull = cull;
+  return scan_pass_pairs(w.sat_ptrs, w.observers, w.pairs, start,
+                         start + span_days, {}, scan_opts, /*threads=*/1,
+                         metrics);
+}
+
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto windows = fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(windows);
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+void reproduce() {
+  // Parity + counters on a short span; the 30-day timings live in the
+  // BM_CampaignScan_* rows below (and BENCH_RESULTS.json).
+  const double span_days = std::min(sinet::bench::days_or(30.0), 3.0);
+  sinet::bench::banner(
+      "Ablation", "Shared-ephemeris pass prediction (39 sats x 8 sites, " +
+                      fmt(span_days, 1) + " days)");
+
+  const Workload w = campaign_workload();
+  const auto legacy = run_legacy(w, span_days);
+  obs::MetricsRegistry metrics;
+  const auto shared = run_engine(w, span_days, /*cull=*/false);
+  const auto culled = run_engine(w, span_days, /*cull=*/true, &metrics);
+
+  std::size_t mismatched = 0;
+  for (std::size_t p = 0; p < w.pairs.size(); ++p) {
+    const auto same = [&](const std::vector<ContactWindow>& got) {
+      if (got.size() != legacy[p].size()) return false;
+      for (std::size_t k = 0; k < got.size(); ++k)
+        if (got[k].aos_jd != legacy[p][k].aos_jd ||
+            got[k].los_jd != legacy[p][k].los_jd ||
+            got[k].tca_jd != legacy[p][k].tca_jd ||
+            got[k].max_elevation_deg != legacy[p][k].max_elevation_deg)
+          return false;
+      return true;
+    };
+    if (!same(shared[p]) || !same(culled[p])) ++mismatched;
+  }
+  std::printf("parity: %zu/%zu pairs bit-identical across all arms\n\n",
+              w.pairs.size() - mismatched, w.pairs.size());
+  if (mismatched != 0) {
+    std::fprintf(stderr, "FATAL: engine windows diverge from legacy\n");
+    std::exit(1);
+  }
+
+  const double legacy_ms = time_ms([&] { return run_legacy(w, span_days); });
+  const double shared_ms =
+      time_ms([&] { return run_engine(w, span_days, false); });
+  const double culled_ms =
+      time_ms([&] { return run_engine(w, span_days, true); });
+  Table t({"arm", "wall (ms)", "speedup vs legacy"});
+  t.add_row({"legacy per-pair scan", fmt(legacy_ms, 1), "1.00x"});
+  t.add_row({"shared ephemeris", fmt(shared_ms, 1),
+             fmt(legacy_ms / shared_ms, 2) + "x"});
+  t.add_row({"shared + culled", fmt(culled_ms, 1),
+             fmt(legacy_ms / culled_ms, 2) + "x"});
+  std::printf("%s", t.render().c_str());
+
+  const auto snap = metrics.snapshot();
+  const auto counter = [&](const char* name) -> unsigned long long {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0ull : it->second;
+  };
+  const unsigned long long visited =
+      counter("orbit.ephemeris.samples_visited");
+  const unsigned long long skipped = counter("orbit.ephemeris.samples_culled");
+  std::printf(
+      "\nengine counters (culled arm): %llu propagations "
+      "(%llu avoided vs per-pair), %llu/%llu samples culled (%.1f%%)\n",
+      counter("orbit.ephemeris.propagations"),
+      counter("orbit.ephemeris.propagations_avoided"), skipped,
+      visited + skipped,
+      100.0 * static_cast<double>(skipped) /
+          static_cast<double>(visited + skipped > 0 ? visited + skipped : 1));
+}
+
+// --- the tracked 30-day campaign rows ------------------------------------
+
+void BM_CampaignScan_Legacy(benchmark::State& state) {
+  const Workload w = campaign_workload();
+  const double days = sinet::bench::days_or(30.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_legacy(w, days));
+}
+BENCHMARK(BM_CampaignScan_Legacy)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CampaignScan_Shared(benchmark::State& state) {
+  const Workload w = campaign_workload();
+  const double days = sinet::bench::days_or(30.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_engine(w, days, /*cull=*/false));
+}
+BENCHMARK(BM_CampaignScan_Shared)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CampaignScan_SharedCulled(benchmark::State& state) {
+  const Workload w = campaign_workload();
+  const double days = sinet::bench::days_or(30.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_engine(w, days, /*cull=*/true));
+}
+BENCHMARK(BM_CampaignScan_SharedCulled)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SINET_BENCH_MAIN(reproduce)

@@ -144,7 +144,40 @@ PassiveCampaignResult run_passive_campaign(const PassiveCampaignConfig& cfg) {
                                            cfg.metrics);
   obs::PhaseProfiler phases(cfg.metrics, "core.passive");
 
-  for (const MeasurementSite& site : cfg.sites) {
+  // Predict every (constellation, satellite, site) window up front — one
+  // shared-ephemeris grid call per constellation covering ALL sites, so
+  // each satellite propagates once per coarse step for the whole
+  // campaign instead of once per site. Prediction is deterministic and
+  // rng-free, so hoisting it out of the per-site loop cannot change any
+  // downstream draw; per-pair windows are bit-identical to the
+  // per-site batches this replaces.
+  phases.phase("predict");
+  struct PredictedConstellation {
+    std::vector<orbit::Tle> tles;
+    // [satellite][site] contact windows.
+    std::vector<std::vector<std::vector<orbit::ContactWindow>>> windows;
+  };
+  std::vector<orbit::GridObserver> site_observers;
+  site_observers.reserve(cfg.sites.size());
+  for (const MeasurementSite& site : cfg.sites)
+    site_observers.push_back(orbit::GridObserver{site.location});
+  std::vector<PredictedConstellation> predicted;
+  predicted.reserve(cfg.constellations.size());
+  for (const orbit::ConstellationSpec& constellation : cfg.constellations) {
+    PredictedConstellation pc;
+    pc.tles = orbit::generate_tles(constellation, cfg.start_jd);
+    pc.windows = orbit::predict_passes_grid_cached(
+        pc.tles, site_observers, cfg.start_jd, end_jd, pass_opts,
+        cfg.threads,
+        cfg.use_window_cache ? &orbit::ContactWindowCache::global()
+                             : nullptr,
+        cfg.metrics);
+    predicted.push_back(std::move(pc));
+  }
+
+  for (std::size_t site_index = 0; site_index < cfg.sites.size();
+       ++site_index) {
+    const MeasurementSite& site = cfg.sites[site_index];
     sim::Rng rng = rngs.make("passive-" + site.code);
 
     // Daily weather draw for the whole site.
@@ -156,12 +189,14 @@ PassiveCampaignResult run_passive_campaign(const PassiveCampaignConfig& cfg) {
                             ? channel::Weather::kRainy
                             : channel::Weather::kSunny);
 
-    // Pass 1: predict every window, build per-satellite assets and the
-    // full observation request list for the scheduler.
-    phases.phase("predict");
+    // Pass 1: pick up this site's slice of the up-front prediction,
+    // build per-satellite assets and the full observation request list
+    // for the scheduler. Results are in TLE order, so requests/assets/
+    // cells are built exactly as the per-site serial loop did.
     std::map<std::string, SatelliteAsset> assets;
     std::vector<ObservationRequest> requests;
-    for (const orbit::ConstellationSpec& constellation : cfg.constellations) {
+    for (std::size_t c = 0; c < cfg.constellations.size(); ++c) {
+      const orbit::ConstellationSpec& constellation = cfg.constellations[c];
       phy::LinkConfig link = cfg.beacon_link;
       link.carrier_hz = constellation.dts_frequency_hz;
       link.tx_power_dbm = constellation.beacon_eirp_dbm;
@@ -169,22 +204,13 @@ PassiveCampaignResult run_passive_campaign(const PassiveCampaignConfig& cfg) {
       link.lora.sf = static_cast<phy::SpreadingFactor>(
           std::clamp(constellation.beacon_sf, 7, 12));
 
-      // Windows for the whole constellation in one batch (parallel across
-      // satellites, cached across repeated runs); results in TLE order, so
-      // requests/assets/cells are built exactly as the serial loop did.
-      const auto tles = orbit::generate_tles(constellation, cfg.start_jd);
-      auto windows = orbit::predict_passes_batch_cached(
-          tles, site.location, cfg.start_jd, end_jd, pass_opts, cfg.threads,
-          cfg.use_window_cache ? &orbit::ContactWindowCache::global()
-                               : nullptr,
-          cfg.metrics);
-
+      const std::vector<orbit::Tle>& tles = predicted[c].tles;
       std::vector<SatelliteWindows> cell;
       for (std::size_t i = 0; i < tles.size(); ++i) {
         const orbit::Tle& tle = tles[i];
         SatelliteWindows sw;
         sw.satellite = tle.name;
-        sw.windows = std::move(windows[i]);
+        sw.windows = std::move(predicted[c].windows[i][site_index]);
         for (const orbit::ContactWindow& w : sw.windows)
           requests.push_back(
               ObservationRequest{tle.name, constellation.name, w});

@@ -14,6 +14,8 @@
 #include "core/availability.h"
 #include "core/passive_campaign.h"
 #include "core/scenario.h"
+#include "orbit/constellation.h"
+#include "orbit/passes.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
@@ -76,10 +78,44 @@ PointMetrics run_availability_point(const RunPoint& p) {
   core::AvailabilityOptions opts;
   opts.duration_days = p.param_or("duration_days", 2.0);
   opts.threads = 1;
+
+  // One shared-ephemeris grid call across ALL paper constellations
+  // instead of one cached batch per constellation: the engine shares the
+  // coarse grid and GMST rotations across the combined TLE set. Per-TLE
+  // windows (and therefore the merged presence values) are bit-identical
+  // to per-constellation daily_presence_hours calls.
+  const orbit::JulianDate start_jd = core::campaign_epoch_jd();
+  const orbit::JulianDate end_jd = start_jd + opts.duration_days;
+  orbit::PassPredictionOptions popts;
+  popts.min_elevation_deg = opts.min_elevation_deg;
+  popts.coarse_step_s = opts.pass_scan_step_s;
+
+  const auto specs = orbit::paper_constellations();
+  std::vector<orbit::Tle> tles;
+  std::vector<std::pair<std::size_t, std::size_t>> spans;  // first, count
+  for (const auto& spec : specs) {
+    const auto spec_tles = orbit::generate_tles(spec, start_jd);
+    spans.emplace_back(tles.size(), spec_tles.size());
+    tles.insert(tles.end(), spec_tles.begin(), spec_tles.end());
+  }
+  const auto windows = orbit::predict_passes_grid_cached(
+      tles, {orbit::GridObserver{site.location}}, start_jd, end_jd, popts,
+      opts.threads,
+      opts.use_window_cache ? &orbit::ContactWindowCache::global() : nullptr,
+      opts.metrics);
+
   PointMetrics out;
-  for (const auto& spec : orbit::paper_constellations())
-    out["presence_h." + spec.name] = core::daily_presence_hours(
-        spec, site, core::campaign_epoch_jd(), opts);
+  for (std::size_t c = 0; c < specs.size(); ++c) {
+    std::vector<orbit::ContactWindow> all;
+    for (std::size_t i = 0; i < spans[c].second; ++i) {
+      const auto& ws = windows[spans[c].first + i][0];
+      all.insert(all.end(), ws.begin(), ws.end());
+    }
+    out["presence_h." + specs[c].name] =
+        orbit::daily_visible_seconds(orbit::merge_windows(std::move(all)),
+                                     start_jd, end_jd) /
+        3600.0;
+  }
   return out;
 }
 

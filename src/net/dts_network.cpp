@@ -129,30 +129,30 @@ class Simulator {
         satellites_.size(),
         std::vector<std::vector<ContactWindow>>(cfg_.ground_stations.size()));
 
-    // One cached batch per node location, then one per ground station
-    // (each station carries its own elevation mask). The contact-window
-    // cache serves repeats (e.g. re-runs over the same constellation and
-    // span); misses fan out across the shared pool. Results come back in
-    // input (satellite) order, so the window tables are identical to the
-    // serial loops.
-    for (std::size_t l = 0; l < locations_.size(); ++l) {
-      auto windows = orbit::predict_passes_batch_cached(
-          tles_, locations_[l], cfg_.start_jd, end_jd, opts,
-          cfg_.pass_threads, &orbit::ContactWindowCache::global(),
-          cfg_.metrics);
-      for (std::size_t s = 0; s < satellites_.size(); ++s)
-        node_windows_[s][l] = std::move(windows[s]);
-    }
+    // ONE cached grid call covering every node location (at the
+    // visibility mask) and every ground station (at its own elevation
+    // mask): the shared-ephemeris engine propagates each satellite once
+    // per coarse step for all observers instead of once per observer.
+    // The contact-window cache still serves repeats (keys carry each
+    // observer's effective mask, so entries interoperate with the old
+    // per-observer batches); windows per pair are bit-identical to the
+    // per-location loops this replaces.
+    std::vector<orbit::GridObserver> observers;
+    observers.reserve(locations_.size() + cfg_.ground_stations.size());
+    for (const orbit::Geodetic& loc : locations_)
+      observers.push_back(orbit::GridObserver{loc});
+    for (const GroundStationSite& gs : cfg_.ground_stations)
+      observers.push_back(
+          orbit::GridObserver{gs.location, gs.min_elevation_deg});
 
-    for (std::size_t g = 0; g < cfg_.ground_stations.size(); ++g) {
-      orbit::PassPredictionOptions gs_opts = opts;
-      gs_opts.min_elevation_deg = cfg_.ground_stations[g].min_elevation_deg;
-      auto gs_windows = orbit::predict_passes_batch_cached(
-          tles_, cfg_.ground_stations[g].location, cfg_.start_jd, end_jd,
-          gs_opts, cfg_.pass_threads, &orbit::ContactWindowCache::global(),
-          cfg_.metrics);
-      for (std::size_t s = 0; s < satellites_.size(); ++s)
-        gs_windows_[s][g] = std::move(gs_windows[s]);
+    auto windows = orbit::predict_passes_grid_cached(
+        tles_, observers, cfg_.start_jd, end_jd, opts, cfg_.pass_threads,
+        &orbit::ContactWindowCache::global(), cfg_.metrics);
+    for (std::size_t s = 0; s < satellites_.size(); ++s) {
+      for (std::size_t l = 0; l < locations_.size(); ++l)
+        node_windows_[s][l] = std::move(windows[s][l]);
+      for (std::size_t g = 0; g < cfg_.ground_stations.size(); ++g)
+        gs_windows_[s][g] = std::move(windows[s][locations_.size() + g]);
     }
   }
 

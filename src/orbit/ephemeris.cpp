@@ -1,0 +1,411 @@
+#include "orbit/ephemeris.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "orbit/frames.h"
+#include "orbit/look_angles.h"
+#include "orbit/tle.h"
+#include "sim/thread_pool.h"
+
+namespace sinet::orbit {
+
+ScanGrid::ScanGrid(JulianDate jd_start, JulianDate jd_end,
+                   double coarse_step_s) {
+  if (jd_end < jd_start)
+    throw std::invalid_argument("ScanGrid: jd_end < jd_start");
+  if (coarse_step_s <= 0.0)
+    throw std::invalid_argument("ScanGrid: nonpositive step");
+  start_ = jd_start;
+  end_ = jd_end;
+  step_s_ = coarse_step_s;
+  step_days_ = coarse_step_s / kSecondsPerDay;
+  // Exactly predict_passes' sample times: the same float accumulation
+  // (jd += step_days) with the same clamp, NOT jd_start + k * step.
+  times_.push_back(jd_start);
+  for (JulianDate jd = jd_start + step_days_;; jd += step_days_) {
+    const JulianDate t = std::min(jd, jd_end);
+    times_.push_back(t);
+    if (t >= jd_end) break;
+  }
+}
+
+EphemerisTable::EphemerisTable(const std::vector<const Sgp4*>& satellites,
+                               const ScanGrid& grid)
+    : satellites_(&satellites), grid_(&grid) {}
+
+void EphemerisTable::build(std::size_t first, std::size_t count,
+                           sim::ThreadPool* pool,
+                           const std::vector<std::size_t>* row_start) {
+  built_first_ = first;
+  built_count_ = count;
+  const std::size_t chunk_end = first + count;
+  // One GMST per timestep, shared by every satellite's rotation.
+  gmst_.resize(count);
+  for (std::size_t i = 0; i < count; ++i)
+    gmst_[i] = gmst_rad(grid_->time(first + i));
+
+  const std::size_t n = satellites_->size();
+  positions_.resize(n * count);
+  distances_.resize(n * count);
+
+  const auto row_begin = [&](std::size_t s) {
+    return row_start == nullptr ? first : std::max(first, (*row_start)[s]);
+  };
+  const auto fill_row = [&](std::size_t s) {
+    const std::size_t begin = row_begin(s);
+    if (begin >= chunk_end) return;  // satellite not needed this chunk
+    const Sgp4& prop = *(*satellites_)[s];
+    Vec3* pos = &positions_[s * count];
+    double* dist = &distances_[s * count];
+    for (std::size_t k = begin; k < chunk_end; ++k) {
+      const TemeState st = prop.at_jd(grid_->time(k));
+      const Vec3 p = teme_to_ecef_position_gmst(st.position_km,
+                                                gmst_[k - first]);
+      pos[k - first] = p;
+      dist[k - first] = p.norm();
+    }
+  };
+
+  if (pool != nullptr && n > 1) {
+    pool->parallel_for(n, fill_row);
+  } else {
+    for (std::size_t s = 0; s < n; ++s) fill_row(s);
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t begin = row_begin(s);
+    if (begin < chunk_end) propagations_ += chunk_end - begin;
+  }
+}
+
+SatelliteCullBounds satellite_cull_bounds(const Sgp4& prop) {
+  SatelliteCullBounds b;
+  const double a_km = prop.semi_major_axis_er() * kEarthRadiusKm;
+  const double e = prop.eccentricity();
+  if (!(a_km > 0.0) || !(e >= 0.0) || e >= 1.0) return b;
+  const double r_apogee = a_km * (1.0 + e) + kCullRadialMarginKm;
+  const double r_perigee = a_km * (1.0 - e) - kCullRadialMarginKm;
+  // Culling buys nothing (and the rate bound degenerates) for orbits
+  // that graze the surface; leave it off and scan exactly.
+  if (!(r_perigee > 0.5 * kEarthRadiusKm)) return b;
+  // Vis-viva at the (margin-lowered) perigee bounds the inertial speed;
+  // dividing by the same perigee radius bounds the geocentric angular
+  // rate. Earth rotation adds at most its full rate in the fixed frame.
+  const double v_sq = kMuEarthKm3PerS2 * (2.0 / r_perigee - 1.0 / a_km);
+  if (!(v_sq > 0.0)) return b;
+  b.max_distance_km = r_apogee;
+  b.max_angular_rate_rad_s =
+      kCullRateSafety * std::sqrt(v_sq) / r_perigee + kEarthRotationRadPerSec;
+  b.valid = true;
+  return b;
+}
+
+ObserverCullGeometry observer_cull_geometry(const Geodetic& observer) {
+  const TopocentricFrame frame(observer);
+  ObserverCullGeometry g;
+  g.radius_km = frame.obs_ecef_km.norm();
+  g.unit_ecef = g.radius_km > 0.0 ? frame.obs_ecef_km * (1.0 / g.radius_km)
+                                  : Vec3{0.0, 0.0, 1.0};
+  // Angle between the geodetic vertical (defines the elevation mask) and
+  // the geocentric direction the cone test measures against; <= ~0.2 deg
+  // anywhere on WGS-84.
+  const Vec3 up{frame.cos_lat * frame.cos_lon, frame.cos_lat * frame.sin_lon,
+                frame.sin_lat};
+  g.vertical_deflection_rad =
+      std::acos(std::clamp(up.dot(g.unit_ecef), -1.0, 1.0));
+  return g;
+}
+
+double horizon_cone_half_angle_rad(const ObserverCullGeometry& observer,
+                                   double max_distance_km, double mask_deg) {
+  if (!(max_distance_km > 0.0) || !(observer.radius_km > 0.0)) return kPi;
+  // Effective mask: the geodetic mask lowered by the vertical deflection
+  // (so the geocentric test is conservative for the geodetic elevation)
+  // and by the float-error pad.
+  const double eps = mask_deg * kDegToRad - observer.vertical_deflection_rad -
+                     kCullAngularPadRad;
+  if (!(eps > -0.5 * kPi)) return kPi;
+  // At geocentric separation gamma and distance d <= d_max, the elevation
+  // above the geocentric horizon satisfies
+  //   sin(el_geo) = (d cos(gamma) - R_o) / |d_vec - o_vec|,
+  // monotone decreasing in gamma and increasing in d. Solving
+  // el_geo = eps at d = d_max for gamma:
+  const double arg =
+      std::clamp(observer.radius_km / max_distance_km * std::cos(eps), -1.0,
+                 1.0);
+  const double gamma = std::acos(arg) - eps;
+  if (!std::isfinite(gamma)) return kPi;
+  return std::clamp(gamma, 0.0, kPi);
+}
+
+namespace {
+
+/// Scan state of one (satellite, observer) pair; persists across table
+/// chunks so culling skips can cross chunk boundaries.
+struct PairScan {
+  PairScan(const Sgp4& prop, const Geodetic& observer_location, double mask,
+           const ObserverCullGeometry* observer_geometry, double gamma_vis,
+           double omega_max, bool cull_enabled, std::size_t satellite_row)
+      : sampler(prop, observer_location), geometry(observer_geometry),
+        mask_deg(mask), gamma_vis_rad(gamma_vis),
+        omega_max_rad_s(omega_max), cull(cull_enabled), sat(satellite_row) {}
+
+  ElevationSampler sampler;
+  const ObserverCullGeometry* geometry;
+  double mask_deg;
+  double gamma_vis_rad;
+  double omega_max_rad_s;
+  bool cull;
+  std::size_t sat;
+
+  bool init_done = false;
+  bool prev_vis = false;
+  JulianDate window_start = 0.0;
+  std::size_t next_k = 1;  // next grid sample this pair must visit
+  std::vector<ContactWindow> windows;
+
+  std::uint64_t visited = 0;
+  std::uint64_t culled = 0;
+  std::uint64_t cull_decisions = 0;
+  std::uint64_t exact_evals = 0;
+};
+
+}  // namespace
+
+std::vector<std::vector<ContactWindow>> scan_pass_pairs(
+    const std::vector<const Sgp4*>& satellites,
+    const std::vector<GridObserver>& observers,
+    const std::vector<PairTask>& pairs, JulianDate jd_start,
+    JulianDate jd_end, const PassPredictionOptions& opts,
+    const EphemerisScanOptions& scan_opts, unsigned threads,
+    obs::MetricsRegistry* metrics) {
+  if (jd_end < jd_start)
+    throw std::invalid_argument("scan_pass_pairs: jd_end < jd_start");
+  if (opts.coarse_step_s <= 0.0)
+    throw std::invalid_argument("scan_pass_pairs: nonpositive step");
+  if (scan_opts.chunk_samples == 0)
+    throw std::invalid_argument("scan_pass_pairs: zero chunk_samples");
+  for (const Sgp4* sat : satellites)
+    if (sat == nullptr)
+      throw std::invalid_argument("scan_pass_pairs: null propagator");
+  for (const PairTask& p : pairs)
+    if (p.satellite >= satellites.size() || p.observer >= observers.size())
+      throw std::out_of_range("scan_pass_pairs: pair index out of range");
+
+  obs::ScopedTimer timer(
+      metrics == nullptr
+          ? nullptr
+          : &metrics->histogram("orbit.ephemeris.scan_latency_ms", 0.0,
+                                10000.0, 50));
+  if (metrics != nullptr) {
+    metrics->counter("orbit.ephemeris.scans").add(1);
+    metrics->counter("orbit.ephemeris.pairs").add(pairs.size());
+  }
+
+  std::vector<std::vector<ContactWindow>> out(pairs.size());
+  if (pairs.empty()) return out;
+
+  const ScanGrid grid(jd_start, jd_end, opts.coarse_step_s);
+  const std::size_t total = grid.size();
+  const double step_days = grid.step_days();
+  const double step_s = grid.step_s();
+
+  std::vector<SatelliteCullBounds> bounds(satellites.size());
+  if (scan_opts.cull)
+    for (std::size_t s = 0; s < satellites.size(); ++s)
+      bounds[s] = satellite_cull_bounds(*satellites[s]);
+
+  std::vector<ObserverCullGeometry> geometry(observers.size());
+  std::vector<double> masks(observers.size());
+  for (std::size_t o = 0; o < observers.size(); ++o) {
+    masks[o] = std::isnan(observers[o].min_elevation_deg)
+                   ? opts.min_elevation_deg
+                   : observers[o].min_elevation_deg;
+    if (scan_opts.cull)
+      geometry[o] = observer_cull_geometry(observers[o].location);
+  }
+
+  std::vector<PairScan> scans;
+  scans.reserve(pairs.size());
+  for (const PairTask& p : pairs) {
+    double gamma_vis = kPi;
+    double omega_max = 0.0;
+    bool cull_enabled = false;
+    if (scan_opts.cull && bounds[p.satellite].valid) {
+      gamma_vis = horizon_cone_half_angle_rad(
+          geometry[p.observer], bounds[p.satellite].max_distance_km,
+          masks[p.observer]);
+      omega_max = bounds[p.satellite].max_angular_rate_rad_s;
+      cull_enabled = gamma_vis < kPi && omega_max > 0.0;
+    }
+    scans.emplace_back(*satellites[p.satellite],
+                       observers[p.observer].location, masks[p.observer],
+                       &geometry[p.observer], gamma_vis, omega_max,
+                       cull_enabled, p.satellite);
+  }
+
+  sim::ThreadPool* pool = nullptr;
+  std::optional<sim::ThreadPool> local;
+  if (threads != 1 && pairs.size() > 1) {
+    sim::ThreadPool& shared = sim::ThreadPool::shared();
+    if (threads == 0 || threads == shared.size()) {
+      pool = &shared;
+    } else {
+      local.emplace(threads);
+      pool = &*local;
+    }
+  }
+
+  EphemerisTable table(satellites, grid);
+  constexpr std::size_t kUnused = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> row_start(satellites.size());
+  std::vector<std::size_t> active;
+  active.reserve(scans.size());
+
+  for (std::size_t first = 0; first < total;
+       first += scan_opts.chunk_samples) {
+    const std::size_t count = std::min(scan_opts.chunk_samples, total - first);
+    const std::size_t chunk_end = first + count;
+
+    active.clear();
+    std::fill(row_start.begin(), row_start.end(), kUnused);
+    for (std::size_t i = 0; i < scans.size(); ++i) {
+      const PairScan& p = scans[i];
+      // Every pair visits sample 0 (init) in the first chunk; afterwards
+      // a pair is active only if its next sample lands in this chunk —
+      // culling can have jumped it clean past it.
+      const std::size_t from = p.init_done ? p.next_k : first;
+      if (from >= chunk_end) continue;
+      active.push_back(i);
+      row_start[p.sat] = std::min(row_start[p.sat], from);
+    }
+    if (active.empty()) continue;
+
+    table.build(first, count, pool, &row_start);
+
+    const auto scan_one = [&](std::size_t a) {
+      PairScan& p = scans[active[a]];
+      if (!p.init_done) {
+        // Sample 0, exactly as predict_passes evaluates it.
+        const double el0 = elevation_from_ecef(
+            p.sampler.frame(), table.position_ecef_km(p.sat, 0));
+        p.prev_vis = el0 >= p.mask_deg;
+        p.window_start = p.prev_vis ? grid.time(0) : 0.0;
+        p.init_done = true;
+        ++p.visited;
+        ++p.exact_evals;
+      }
+      while (p.next_k < chunk_end) {
+        const std::size_t k = p.next_k;
+        const JulianDate t = grid.time(k);
+        const Vec3& pos = table.position_ecef_km(p.sat, k);
+
+        bool vis = false;
+        bool decided = false;
+        std::size_t advance = 1;
+        if (p.cull) {
+          const double d = table.distance_km(p.sat, k);
+          const double cos_gamma = pos.dot(p.geometry->unit_ecef) / d;
+          const double gamma =
+              std::acos(std::clamp(cos_gamma, -1.0, 1.0));
+          if (gamma > p.gamma_vis_rad) {
+            // Provably below the mask here, and for at least margin_s:
+            // the geocentric angle cannot close faster than omega_max.
+            decided = true;
+            ++p.cull_decisions;
+            const double margin_s =
+                (gamma - p.gamma_vis_rad) / p.omega_max_rad_s;
+            const double steps = margin_s / step_s;
+            if (steps > 1.0)
+              advance = std::min(static_cast<std::size_t>(steps), total - k);
+          }
+        }
+        if (!decided) {
+          ++p.exact_evals;
+          vis = elevation_from_ecef(p.sampler.frame(), pos) >= p.mask_deg;
+        }
+        ++p.visited;
+        p.culled += advance - 1;
+
+        // Identical transition handling (and refinement brackets) to
+        // predict_passes; skipped samples are all proven invisible while
+        // prev_vis is false, so no transition can hide inside a skip.
+        if (vis && !p.prev_vis) {
+          p.window_start =
+              refine_mask_crossing(p.sampler, t - step_days, t, p.mask_deg,
+                                   opts.refine_tolerance_s);
+        } else if (!vis && p.prev_vis) {
+          const JulianDate window_end =
+              refine_mask_crossing(p.sampler, t - step_days, t, p.mask_deg,
+                                   opts.refine_tolerance_s);
+          ContactWindow w;
+          w.aos_jd = p.window_start;
+          w.los_jd = window_end;
+          const auto [tca, elev] =
+              refine_max_elevation(p.sampler, w.aos_jd, w.los_jd);
+          w.tca_jd = tca;
+          w.max_elevation_deg = elev;
+          p.windows.push_back(w);
+        }
+        p.prev_vis = vis;
+        p.next_k = k + advance;
+      }
+    };
+    if (pool != nullptr && active.size() > 1) {
+      pool->parallel_for(active.size(), scan_one);
+    } else {
+      for (std::size_t a = 0; a < active.size(); ++a) scan_one(a);
+    }
+  }
+
+  // Windows still open at jd_end: truncate, exactly like predict_passes.
+  const auto finalize_one = [&](std::size_t i) {
+    PairScan& p = scans[i];
+    if (!p.prev_vis) return;
+    ContactWindow w;
+    w.aos_jd = p.window_start;
+    w.los_jd = jd_end;
+    const auto [tca, elev] =
+        refine_max_elevation(p.sampler, w.aos_jd, w.los_jd);
+    w.tca_jd = tca;
+    w.max_elevation_deg = elev;
+    p.windows.push_back(w);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(scans.size(), finalize_one);
+  } else {
+    for (std::size_t i = 0; i < scans.size(); ++i) finalize_one(i);
+  }
+
+  if (metrics != nullptr) {
+    std::uint64_t visited = 0, culled = 0, cull_decisions = 0, exact = 0;
+    for (const PairScan& p : scans) {
+      visited += p.visited;
+      culled += p.culled;
+      cull_decisions += p.cull_decisions;
+      exact += p.exact_evals;
+    }
+    const std::uint64_t done = table.propagations();
+    const std::uint64_t naive =
+        static_cast<std::uint64_t>(pairs.size()) * total;
+    metrics->counter("orbit.ephemeris.propagations").add(done);
+    metrics->counter("orbit.ephemeris.propagations_avoided")
+        .add(naive > done ? naive - done : 0);
+    metrics->counter("orbit.ephemeris.samples_visited").add(visited);
+    metrics->counter("orbit.ephemeris.samples_culled").add(culled);
+    metrics->counter("orbit.ephemeris.cull_decisions").add(cull_decisions);
+    metrics->counter("orbit.ephemeris.exact_elevations").add(exact);
+  }
+
+  for (std::size_t i = 0; i < scans.size(); ++i)
+    out[i] = std::move(scans[i].windows);
+  return out;
+}
+
+}  // namespace sinet::orbit

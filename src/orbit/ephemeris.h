@@ -1,0 +1,203 @@
+// Shared-ephemeris pass-prediction engine with conservative geometric
+// culling.
+//
+// The legacy coarse scan (orbit/passes.h, predict_passes) pays one SGP4
+// propagation + GMST evaluation + TEME->ECEF rotation + look-angle solve
+// per coarse step per (satellite, observer) pair, even though the
+// satellite's ephemeris is observer-independent and almost every sample
+// is far below the horizon. This engine:
+//
+//  1. propagates each satellite ONCE per coarse step into a shared
+//     EphemerisTable (ECEF position + geocentric distance), with GMST
+//     evaluated once per step across all satellites;
+//  2. culls samples that are provably below the elevation mask from
+//     geometry alone, and uses a worst-case angular-rate bound to skip
+//     ahead over stretches that provably stay below it;
+//  3. refines AOS/LOS/TCA with the exact same ElevationSampler
+//     primitives as the legacy scan (refine_mask_crossing /
+//     refine_max_elevation), on the exact same coarse grid times.
+//
+// The result: every emitted ContactWindow is bit-identical to
+// predict_passes on the same (satellite, observer, span, options) — the
+// culling decides only "provably not visible", never "visible", and any
+// sample it cannot prove is evaluated exactly.
+//
+// Culling math (all angles geocentric, at the Earth's center):
+// let gamma be the angle between the observer's geocentric direction and
+// the satellite's, d the satellite's geocentric distance and R_o the
+// observer's. The *geocentric* elevation satisfies
+//     sin(el_geo) = (d cos(gamma) - R_o) / |sat - obs|,
+// which is monotone decreasing in gamma and increasing in d. The true
+// (geodetic-horizon) elevation differs from el_geo by at most the angle
+// delta between the geodetic and geocentric verticals (<= ~0.2 deg on
+// WGS-84). So with eps' = mask - delta - pad, every gamma above
+//     gamma_vis = acos(clamp((R_o / d_max) cos(eps'), -1, 1)) - eps'
+// is provably below the mask for ANY d <= d_max. The satellite's
+// geocentric angular rate (inertial rate + Earth rotation) is bounded by
+// omega_max, so from a sample with margin (gamma - gamma_vis) the pair
+// stays invisible for at least (gamma - gamma_vis) / omega_max seconds —
+// the scan jumps that many whole coarse steps ahead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "orbit/geodetic.h"
+#include "orbit/passes.h"
+#include "orbit/sgp4.h"
+#include "orbit/time.h"
+#include "orbit/vec3.h"
+
+namespace sinet::obs {
+class MetricsRegistry;
+}  // namespace sinet::obs
+
+namespace sinet::sim {
+class ThreadPool;
+}  // namespace sinet::sim
+
+namespace sinet::orbit {
+
+/// Apogee/perigee slack (km) applied to the SGP4 epoch elements when
+/// bounding the satellite's geocentric distance and speed; absorbs
+/// periodic perturbations and drag-induced drift over campaign spans.
+inline constexpr double kCullRadialMarginKm = 50.0;
+
+/// Multiplier on the two-body perigee speed bound; covers perturbations
+/// that momentarily exceed the osculating-element estimate.
+inline constexpr double kCullRateSafety = 1.06;
+
+/// Angular pad (rad) subtracted from the effective mask before building
+/// the horizon cone. ~2 arcsec: orders of magnitude above double
+/// round-off in the cone/margin arithmetic and the <= 2e-6 rad effect of
+/// coarse-grid float accumulation drift on skip windows, and orders of
+/// magnitude below any real visibility geometry.
+inline constexpr double kCullAngularPadRad = 1e-5;
+
+/// The coarse scan grid: jd_start, then the exact float accumulation
+/// predict_passes steps through (jd += step_days, clamped to jd_end),
+/// built once and shared by every pair. Sharing the *identical* sample
+/// times (not k * step reconstructions) is what keeps refinement
+/// brackets — and therefore emitted windows — bit-identical to the
+/// legacy scan.
+class ScanGrid {
+ public:
+  ScanGrid(JulianDate jd_start, JulianDate jd_end, double coarse_step_s);
+
+  [[nodiscard]] std::size_t size() const noexcept { return times_.size(); }
+  [[nodiscard]] JulianDate time(std::size_t k) const { return times_[k]; }
+  [[nodiscard]] JulianDate start() const noexcept { return start_; }
+  [[nodiscard]] JulianDate end() const noexcept { return end_; }
+  [[nodiscard]] double step_s() const noexcept { return step_s_; }
+  [[nodiscard]] double step_days() const noexcept { return step_days_; }
+
+ private:
+  std::vector<JulianDate> times_;
+  JulianDate start_, end_;
+  double step_s_, step_days_;
+};
+
+/// Per-satellite ECEF positions over one chunk of the scan grid, shared
+/// across every observer. GMST is evaluated once per sample and reused
+/// for all satellites; positions are bit-identical to what
+/// teme_to_ecef_state produces inside ElevationSampler at the same jd.
+/// Chunked so a 39-satellite x 30-day x 30-s campaign never materializes
+/// the full table (~100+ MB) at once.
+class EphemerisTable {
+ public:
+  /// `satellites` and `grid` must outlive the table.
+  EphemerisTable(const std::vector<const Sgp4*>& satellites,
+                 const ScanGrid& grid);
+
+  /// (Re)fill the table for grid samples [first, first + count).
+  /// `row_start`, when non-null, gives per-satellite first needed sample
+  /// (absolute index, clamped to the chunk): rows are only propagated
+  /// from there on, and satellites whose row_start is past the chunk are
+  /// skipped entirely. `pool` non-null fans rows out across it.
+  void build(std::size_t first, std::size_t count, sim::ThreadPool* pool,
+             const std::vector<std::size_t>* row_start = nullptr);
+
+  /// ECEF position of satellite `s` at absolute grid sample `k` (must be
+  /// inside the built chunk, at or after the row's start).
+  [[nodiscard]] const Vec3& position_ecef_km(std::size_t s,
+                                             std::size_t k) const {
+    return positions_[s * built_count_ + (k - built_first_)];
+  }
+  /// Geocentric distance |position| (km) at the same sample.
+  [[nodiscard]] double distance_km(std::size_t s, std::size_t k) const {
+    return distances_[s * built_count_ + (k - built_first_)];
+  }
+
+  /// Total SGP4 propagations performed across all build() calls.
+  [[nodiscard]] std::uint64_t propagations() const noexcept {
+    return propagations_;
+  }
+
+ private:
+  const std::vector<const Sgp4*>* satellites_;
+  const ScanGrid* grid_;
+  std::vector<double> gmst_;        // per chunk sample
+  std::vector<Vec3> positions_;     // [sat][chunk sample]
+  std::vector<double> distances_;   // [sat][chunk sample]
+  std::size_t built_first_ = 0;
+  std::size_t built_count_ = 0;
+  std::uint64_t propagations_ = 0;
+};
+
+/// Span-wide conservative bounds on one satellite's geometry, derived
+/// from its SGP4 epoch elements. `valid == false` (hyperbolic/degenerate
+/// elements) disables culling for that satellite — the scan falls back
+/// to exact evaluation everywhere, which is always correct.
+struct SatelliteCullBounds {
+  bool valid = false;
+  double max_distance_km = 0.0;       ///< apogee + kCullRadialMarginKm
+  double max_angular_rate_rad_s = 0.0;  ///< geocentric, Earth-fixed frame
+};
+[[nodiscard]] SatelliteCullBounds satellite_cull_bounds(const Sgp4& prop);
+
+/// Observer-fixed quantities of the culling test: geocentric direction,
+/// geocentric radius, and the angle between the geodetic vertical (which
+/// defines elevation) and the geocentric one (which the cone test uses).
+struct ObserverCullGeometry {
+  Vec3 unit_ecef;
+  double radius_km = 0.0;
+  double vertical_deflection_rad = 0.0;
+};
+[[nodiscard]] ObserverCullGeometry observer_cull_geometry(
+    const Geodetic& observer);
+
+/// Half-angle (rad) of the geocentric cone around the observer outside of
+/// which a satellite no farther than `max_distance_km` is provably below
+/// `mask_deg`. Returns pi when culling cannot help (degenerate inputs or
+/// a mask so low that the cone covers the whole sphere) — gamma can never
+/// exceed pi, so a pi cone simply never culls.
+[[nodiscard]] double horizon_cone_half_angle_rad(
+    const ObserverCullGeometry& observer, double max_distance_km,
+    double mask_deg);
+
+/// One (satellite, observer) pair to scan, as indices into the engine's
+/// satellite and observer arrays.
+struct PairTask {
+  std::size_t satellite = 0;
+  std::size_t observer = 0;
+};
+
+struct EphemerisScanOptions {
+  bool cull = true;                  ///< false = share ephemeris only
+  std::size_t chunk_samples = 4096;  ///< grid samples per table chunk
+};
+
+/// Run the shared-ephemeris scan for every pair; windows come back in
+/// pair order and are bit-identical to predict_passes per pair. Observers
+/// with a NaN mask use opts.min_elevation_deg (see GridObserver).
+/// `threads` follows predict_passes_batch semantics.
+[[nodiscard]] std::vector<std::vector<ContactWindow>> scan_pass_pairs(
+    const std::vector<const Sgp4*>& satellites,
+    const std::vector<GridObserver>& observers,
+    const std::vector<PairTask>& pairs, JulianDate jd_start,
+    JulianDate jd_end, const PassPredictionOptions& opts = {},
+    const EphemerisScanOptions& scan_opts = {}, unsigned threads = 0,
+    obs::MetricsRegistry* metrics = nullptr);
+
+}  // namespace sinet::orbit

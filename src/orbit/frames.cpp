@@ -16,6 +16,10 @@ Vec3 teme_to_ecef_position(const Vec3& r_teme_km, JulianDate jd) {
   return rotate_z(r_teme_km, gmst_rad(jd));
 }
 
+Vec3 teme_to_ecef_position_gmst(const Vec3& r_teme_km, double gmst) {
+  return rotate_z(r_teme_km, gmst);
+}
+
 Vec3 teme_to_ecef_velocity(const Vec3& r_teme_km, const Vec3& v_teme_km_s,
                            JulianDate jd) {
   const double theta = gmst_rad(jd);

@@ -17,6 +17,13 @@ inline constexpr double kEarthRotationRadPerSec = 7.29211514670698e-5;
 /// Rotate a TEME position (km) into ECEF at the given UTC Julian date.
 [[nodiscard]] Vec3 teme_to_ecef_position(const Vec3& r_teme_km, JulianDate jd);
 
+/// Rotate a TEME position (km) into ECEF given a precomputed GMST angle.
+/// Bit-identical to the position teme_to_ecef_state(jd) produces when
+/// `gmst` equals gmst_rad(jd); the shared-ephemeris table uses this to
+/// evaluate GMST once per timestep across every satellite.
+[[nodiscard]] Vec3 teme_to_ecef_position_gmst(const Vec3& r_teme_km,
+                                              double gmst);
+
 /// Rotate a TEME velocity (km/s) into ECEF, including the transport term
 /// (-omega x r) due to the rotating frame.
 [[nodiscard]] Vec3 teme_to_ecef_velocity(const Vec3& r_teme_km,

@@ -49,6 +49,19 @@ LookAngles look_angles(const TopocentricFrame& frame, const Vec3& sat_ecef_km,
   return la;
 }
 
+double elevation_from_ecef(const TopocentricFrame& frame,
+                           const Vec3& sat_ecef_km) {
+  // Same expressions as the `up` / range / asin steps of look_angles();
+  // kept in one out-of-line definition so every caller gets identical
+  // floating-point results.
+  const Vec3 rel = sat_ecef_km - frame.obs_ecef_km;
+  const double up = frame.cos_lat * frame.cos_lon * rel.x +
+                    frame.cos_lat * frame.sin_lon * rel.y +
+                    frame.sin_lat * rel.z;
+  const double range_km = rel.norm();
+  return std::asin(std::clamp(up / range_km, -1.0, 1.0)) * kRadToDeg;
+}
+
 double doppler_shift_hz(double range_rate_km_s, double carrier_hz) noexcept {
   return -range_rate_km_s / kSpeedOfLightKmPerSec * carrier_hz;
 }

@@ -40,6 +40,14 @@ struct TopocentricFrame {
                                      const Vec3& sat_ecef_km,
                                      const Vec3& sat_ecef_vel_km_s);
 
+/// Elevation (deg) only, from an ECEF satellite position. This is THE
+/// elevation evaluation for pass prediction: both the legacy per-pair
+/// scan (via ElevationSampler) and the shared-ephemeris table scan call
+/// this one definition, so the two paths agree bit-for-bit by
+/// construction rather than by duplicated arithmetic.
+[[nodiscard]] double elevation_from_ecef(const TopocentricFrame& frame,
+                                         const Vec3& sat_ecef_km);
+
 /// Doppler shift (Hz) observed on `carrier_hz` given a range rate.
 /// Approaching satellites (negative range rate) shift the carrier up.
 [[nodiscard]] double doppler_shift_hz(double range_rate_km_s,

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
+#include "orbit/ephemeris.h"
 #include "orbit/frames.h"
 #include "sim/thread_pool.h"
 
@@ -16,8 +18,10 @@ double ElevationSampler::elevation_deg(JulianDate jd) const {
   const TemeState st = prop_->at_jd(jd);
   const EcefState ecef =
       teme_to_ecef_state(st.position_km, st.velocity_km_s, jd);
-  return look_angles(frame_, ecef.position_km, ecef.velocity_km_s)
-      .elevation_deg;
+  // Shared definition with the ephemeris-table scan (see look_angles.h):
+  // both paths agreeing bit-for-bit is what makes culled windows
+  // bit-identical to the legacy scan.
+  return elevation_from_ecef(frame_, ecef.position_km);
 }
 
 PassSample ElevationSampler::sample(JulianDate jd) const {
@@ -31,12 +35,9 @@ PassSample ElevationSampler::sample(JulianDate jd) const {
   return s;
 }
 
-namespace {
-
-/// Bisect for the elevation-mask crossing between jd_lo (below/above) and
-/// jd_hi with opposite visibility state.
-JulianDate refine_crossing(const ElevationSampler& sampler, JulianDate jd_lo,
-                           JulianDate jd_hi, double mask_deg, double tol_s) {
+JulianDate refine_mask_crossing(const ElevationSampler& sampler,
+                                JulianDate jd_lo, JulianDate jd_hi,
+                                double mask_deg, double tol_s) {
   const bool lo_vis = sampler.elevation_deg(jd_lo) >= mask_deg;
   for (int i = 0; i < 64; ++i) {
     if ((jd_hi - jd_lo) * kSecondsPerDay <= tol_s) break;
@@ -50,9 +51,8 @@ JulianDate refine_crossing(const ElevationSampler& sampler, JulianDate jd_lo,
   return 0.5 * (jd_lo + jd_hi);
 }
 
-/// Golden-section search for max elevation inside [a, b].
-std::pair<JulianDate, double> refine_peak(const ElevationSampler& sampler,
-                                          JulianDate a, JulianDate b) {
+std::pair<JulianDate, double> refine_max_elevation(
+    const ElevationSampler& sampler, JulianDate a, JulianDate b) {
   constexpr double kInvPhi = 0.6180339887498949;
   JulianDate x1 = b - kInvPhi * (b - a);
   JulianDate x2 = a + kInvPhi * (b - a);
@@ -76,8 +76,6 @@ std::pair<JulianDate, double> refine_peak(const ElevationSampler& sampler,
   const JulianDate peak = 0.5 * (a + b);
   return {peak, sampler.elevation_deg(peak)};
 }
-
-}  // namespace
 
 PassSample sample_geometry(const Sgp4& prop, const Geodetic& observer,
                            JulianDate jd) {
@@ -105,17 +103,17 @@ std::vector<ContactWindow> predict_passes(const Sgp4& prop,
     const JulianDate t = std::min(jd, jd_end);
     const bool vis = sampler.elevation_deg(t) >= opts.min_elevation_deg;
     if (vis && !prev_vis) {
-      window_start = refine_crossing(sampler, t - step_days, t,
+      window_start = refine_mask_crossing(sampler, t - step_days, t,
                                      opts.min_elevation_deg,
                                      opts.refine_tolerance_s);
     } else if (!vis && prev_vis) {
       const JulianDate window_end =
-          refine_crossing(sampler, t - step_days, t, opts.min_elevation_deg,
+          refine_mask_crossing(sampler, t - step_days, t, opts.min_elevation_deg,
                           opts.refine_tolerance_s);
       ContactWindow w;
       w.aos_jd = window_start;
       w.los_jd = window_end;
-      auto [tca, elev] = refine_peak(sampler, w.aos_jd, w.los_jd);
+      auto [tca, elev] = refine_max_elevation(sampler, w.aos_jd, w.los_jd);
       w.tca_jd = tca;
       w.max_elevation_deg = elev;
       out.push_back(w);
@@ -127,7 +125,7 @@ std::vector<ContactWindow> predict_passes(const Sgp4& prop,
     ContactWindow w;
     w.aos_jd = window_start;
     w.los_jd = jd_end;
-    auto [tca, elev] = refine_peak(sampler, w.aos_jd, w.los_jd);
+    auto [tca, elev] = refine_max_elevation(sampler, w.aos_jd, w.los_jd);
     w.tca_jd = tca;
     w.max_elevation_deg = elev;
     out.push_back(w);
@@ -159,24 +157,48 @@ std::vector<std::vector<ContactWindow>> predict_passes_batch(
     metrics->counter("orbit.pass_batch.requests").add(requests.size());
   }
 
-  std::vector<std::vector<ContactWindow>> out(requests.size());
-  const auto run_one = [&](std::size_t i) {
-    out[i] = predict_passes(*requests[i].propagator, requests[i].observer,
-                            jd_start, jd_end, opts);
-  };
-
-  if (threads == 1 || requests.size() <= 1) {
-    // Exact legacy path: serial loop on the calling thread.
-    for (std::size_t i = 0; i < requests.size(); ++i) run_one(i);
-    return out;
+  // Deduplicate propagators and observers so the engine shares ephemeris
+  // rows between requests naming the same satellite and topocentric
+  // frames between requests naming the same site.
+  std::vector<const Sgp4*> satellites;
+  std::map<const Sgp4*, std::size_t> satellite_index;
+  std::vector<GridObserver> observers;
+  std::map<std::tuple<double, double, double>, std::size_t> observer_index;
+  std::vector<PairTask> pairs;
+  pairs.reserve(requests.size());
+  for (const PassBatchRequest& req : requests) {
+    const auto [sit, s_new] =
+        satellite_index.try_emplace(req.propagator, satellites.size());
+    if (s_new) satellites.push_back(req.propagator);
+    const auto [oit, o_new] = observer_index.try_emplace(
+        std::tuple{req.observer.latitude_deg, req.observer.longitude_deg,
+                   req.observer.altitude_km},
+        observers.size());
+    if (o_new) observers.push_back(GridObserver{req.observer});
+    pairs.push_back(PairTask{sit->second, oit->second});
   }
+  return scan_pass_pairs(satellites, observers, pairs, jd_start, jd_end,
+                         opts, {}, threads, metrics);
+}
 
-  sim::ThreadPool& shared = sim::ThreadPool::shared();
-  if (threads == 0 || threads == shared.size()) {
-    shared.parallel_for(requests.size(), run_one);
-  } else {
-    sim::ThreadPool local(threads);  // explicit worker count (benchmarks)
-    local.parallel_for(requests.size(), run_one);
+std::vector<std::vector<std::vector<ContactWindow>>> predict_passes_grid(
+    const std::vector<const Sgp4*>& satellites,
+    const std::vector<GridObserver>& observers, JulianDate jd_start,
+    JulianDate jd_end, const PassPredictionOptions& opts, unsigned threads,
+    obs::MetricsRegistry* metrics) {
+  std::vector<PairTask> pairs;
+  pairs.reserve(satellites.size() * observers.size());
+  for (std::size_t s = 0; s < satellites.size(); ++s)
+    for (std::size_t o = 0; o < observers.size(); ++o)
+      pairs.push_back(PairTask{s, o});
+  auto flat = scan_pass_pairs(satellites, observers, pairs, jd_start, jd_end,
+                              opts, {}, threads, metrics);
+  std::vector<std::vector<std::vector<ContactWindow>>> out(satellites.size());
+  std::size_t next = 0;
+  for (std::size_t s = 0; s < satellites.size(); ++s) {
+    out[s].resize(observers.size());
+    for (std::size_t o = 0; o < observers.size(); ++o)
+      out[s][o] = std::move(flat[next++]);
   }
   return out;
 }
@@ -206,32 +228,84 @@ std::vector<ContactWindow> ContactWindowCache::get_or_predict(
     const Tle& tle, const Geodetic& observer, JulianDate jd_start,
     JulianDate jd_end, const PassPredictionOptions& opts) {
   const Key key = make_key(tle, observer, jd_start, jd_end, opts);
+  std::shared_ptr<InFlight> flight;
+  bool owner = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
-      return it->second;
+      touch(it);
+      return it->second.windows;
     }
-    ++misses_;
+    const auto in = inflight_.find(key);
+    if (in != inflight_.end()) {
+      // Another caller is already computing this key; wait for it
+      // instead of duplicating the work. Counts as a hit: the windows
+      // come from someone else's computation.
+      ++hits_;
+      flight = in->second;
+    } else {
+      ++misses_;
+      flight = std::make_shared<InFlight>();
+      inflight_.emplace(key, flight);
+      owner = true;
+    }
   }
-  // Compute outside the lock; a concurrent miss on the same key does the
-  // same deterministic work and the second insert is a no-op.
-  const Sgp4 prop(tle);
-  std::vector<ContactWindow> windows =
-      predict_passes(prop, observer, jd_start, jd_end, opts);
+
+  if (!owner) {
+    std::unique_lock<std::mutex> lock(flight->m);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    return flight->windows;
+  }
+
+  std::vector<ContactWindow> windows;
+  try {
+    const Sgp4 prop(tle);
+    windows = predict_passes(prop, observer, jd_start, jd_end, opts);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.erase(key);
+    }
+    {
+      std::lock_guard<std::mutex> lock(flight->m);
+      flight->error = std::current_exception();
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    throw;
+  }
   insert(key, windows);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->m);
+    flight->windows = windows;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
   return windows;
+}
+
+void ContactWindowCache::touch(std::map<Key, Entry>::iterator it) {
+  recency_.splice(recency_.end(), recency_, it->second.recency);
 }
 
 void ContactWindowCache::insert(const Key& key,
                                 const std::vector<ContactWindow>& windows) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!entries_.emplace(key, windows).second) return;  // already present
-  insertion_order_.push_back(key);
-  while (entries_.size() > max_entries_ && !insertion_order_.empty()) {
-    entries_.erase(insertion_order_.front());
-    insertion_order_.pop_front();
+  const auto [it, inserted] = entries_.try_emplace(key);
+  if (!inserted) return;  // already present
+  it->second.windows = windows;
+  recency_.push_back(key);
+  it->second.recency = std::prev(recency_.end());
+  while (entries_.size() > max_entries_ && !recency_.empty()) {
+    entries_.erase(recency_.front());
+    recency_.pop_front();
   }
 }
 
@@ -243,7 +317,7 @@ ContactWindowCache::Stats ContactWindowCache::stats() const {
 void ContactWindowCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
-  insertion_order_.clear();
+  recency_.clear();
   hits_ = 0;
   misses_ = 0;
 }
@@ -253,67 +327,112 @@ ContactWindowCache& ContactWindowCache::global() {
   return cache;
 }
 
-std::vector<std::vector<ContactWindow>> predict_passes_batch_cached(
-    const std::vector<Tle>& tles, const Geodetic& observer,
-    JulianDate jd_start, JulianDate jd_end, const PassPredictionOptions& opts,
-    unsigned threads, ContactWindowCache* cache,
-    obs::MetricsRegistry* metrics) {
-  std::vector<std::vector<ContactWindow>> out(tles.size());
+std::vector<std::vector<std::vector<ContactWindow>>>
+predict_passes_grid_cached(const std::vector<Tle>& tles,
+                           const std::vector<GridObserver>& observers,
+                           JulianDate jd_start, JulianDate jd_end,
+                           const PassPredictionOptions& opts,
+                           unsigned threads, ContactWindowCache* cache,
+                           obs::MetricsRegistry* metrics) {
+  std::vector<std::vector<std::vector<ContactWindow>>> out(tles.size());
+  for (auto& per_sat : out) per_sat.resize(observers.size());
 
-  // Probe the cache; remember which TLEs still need computing.
-  std::vector<std::size_t> miss_indices;
+  // Cache keys carry the observer's *effective* mask so they are the
+  // same keys get_or_predict / batch_cached would use for that pair.
+  const auto effective_opts = [&](std::size_t o) {
+    PassPredictionOptions eff = opts;
+    if (!std::isnan(observers[o].min_elevation_deg))
+      eff.min_elevation_deg = observers[o].min_elevation_deg;
+    return eff;
+  };
+
+  // Probe the cache; remember which (satellite, observer) pairs still
+  // need computing.
+  std::vector<PairTask> miss_pairs;
+  std::uint64_t probe_hits = 0;
   if (cache == nullptr) {
-    miss_indices.resize(tles.size());
-    for (std::size_t i = 0; i < tles.size(); ++i) miss_indices[i] = i;
+    for (std::size_t s = 0; s < tles.size(); ++s)
+      for (std::size_t o = 0; o < observers.size(); ++o)
+        miss_pairs.push_back(PairTask{s, o});
   } else {
     std::lock_guard<std::mutex> lock(cache->mutex_);
-    for (std::size_t i = 0; i < tles.size(); ++i) {
-      const auto key =
-          ContactWindowCache::make_key(tles[i], observer, jd_start, jd_end,
-                                       opts);
-      const auto it = cache->entries_.find(key);
-      if (it != cache->entries_.end()) {
-        ++cache->hits_;
-        out[i] = it->second;
-      } else {
-        ++cache->misses_;
-        miss_indices.push_back(i);
+    for (std::size_t s = 0; s < tles.size(); ++s) {
+      for (std::size_t o = 0; o < observers.size(); ++o) {
+        const auto key = ContactWindowCache::make_key(
+            tles[s], observers[o].location, jd_start, jd_end,
+            effective_opts(o));
+        const auto it = cache->entries_.find(key);
+        if (it != cache->entries_.end()) {
+          ++cache->hits_;
+          ++probe_hits;
+          cache->touch(it);  // LRU: a hit refreshes recency
+          out[s][o] = it->second.windows;
+        } else {
+          ++cache->misses_;
+          miss_pairs.push_back(PairTask{s, o});
+        }
       }
     }
   }
   if (metrics != nullptr) {
     // Per-call deltas, so concurrent callers sharing the global cache
     // each account only for their own probes.
-    metrics->counter("orbit.pass_cache.hits")
-        .add(tles.size() - miss_indices.size());
-    metrics->counter("orbit.pass_cache.misses").add(miss_indices.size());
-    if (cache != nullptr)
-      metrics->gauge("orbit.pass_cache.entries")
-          .set(static_cast<double>(cache->stats().entries));
+    metrics->counter("orbit.pass_cache.hits").add(probe_hits);
+    metrics->counter("orbit.pass_cache.misses").add(miss_pairs.size());
   }
-  if (miss_indices.empty()) return out;
 
-  // Batch-predict the misses; results land in input order.
-  std::vector<Sgp4> props;
-  props.reserve(miss_indices.size());
-  for (const std::size_t i : miss_indices) props.emplace_back(tles[i]);
-  std::vector<PassBatchRequest> requests(miss_indices.size());
-  for (std::size_t m = 0; m < miss_indices.size(); ++m)
-    requests[m] = PassBatchRequest{&props[m], observer};
-  auto computed =
-      predict_passes_batch(requests, jd_start, jd_end, opts, threads, metrics);
+  if (!miss_pairs.empty()) {
+    // One engine scan for every miss: satellites propagate once per step
+    // regardless of how many observers missed against them.
+    std::vector<std::size_t> sat_row(tles.size(),
+                                     std::numeric_limits<std::size_t>::max());
+    std::vector<Sgp4> props;
+    std::vector<const Sgp4*> satellites;
+    for (const PairTask& p : miss_pairs)
+      if (sat_row[p.satellite] == std::numeric_limits<std::size_t>::max()) {
+        sat_row[p.satellite] = props.size();
+        props.emplace_back(tles[p.satellite]);
+      }
+    satellites.reserve(props.size());
+    for (const Sgp4& prop : props) satellites.push_back(&prop);
+    std::vector<PairTask> scan_pairs;
+    scan_pairs.reserve(miss_pairs.size());
+    for (const PairTask& p : miss_pairs)
+      scan_pairs.push_back(PairTask{sat_row[p.satellite], p.observer});
 
-  for (std::size_t m = 0; m < miss_indices.size(); ++m) {
-    const std::size_t i = miss_indices[m];
-    if (cache != nullptr)
-      cache->insert(ContactWindowCache::make_key(tles[i], observer, jd_start,
-                                                 jd_end, opts),
-                    computed[m]);
-    out[i] = std::move(computed[m]);
+    auto computed = scan_pass_pairs(satellites, observers, scan_pairs,
+                                    jd_start, jd_end, opts, {}, threads,
+                                    metrics);
+    for (std::size_t m = 0; m < miss_pairs.size(); ++m) {
+      const PairTask& p = miss_pairs[m];
+      if (cache != nullptr)
+        cache->insert(ContactWindowCache::make_key(
+                          tles[p.satellite], observers[p.observer].location,
+                          jd_start, jd_end, effective_opts(p.observer)),
+                      computed[m]);
+      out[p.satellite][p.observer] = std::move(computed[m]);
+    }
   }
+  // Single entries-gauge refresh, after any insertions — the pre-compute
+  // set this used to do was redundant on the miss path and is folded
+  // into this one, which also covers the all-hits early path.
   if (metrics != nullptr && cache != nullptr)
     metrics->gauge("orbit.pass_cache.entries")
         .set(static_cast<double>(cache->stats().entries));
+  return out;
+}
+
+std::vector<std::vector<ContactWindow>> predict_passes_batch_cached(
+    const std::vector<Tle>& tles, const Geodetic& observer,
+    JulianDate jd_start, JulianDate jd_end, const PassPredictionOptions& opts,
+    unsigned threads, ContactWindowCache* cache,
+    obs::MetricsRegistry* metrics) {
+  auto grid = predict_passes_grid_cached(tles, {GridObserver{observer}},
+                                         jd_start, jd_end, opts, threads,
+                                         cache, metrics);
+  std::vector<std::vector<ContactWindow>> out(tles.size());
+  for (std::size_t i = 0; i < tles.size(); ++i)
+    out[i] = std::move(grid[i][0]);
   return out;
 }
 

@@ -6,9 +6,13 @@
 #pragma once
 
 #include <array>
+#include <condition_variable>
+#include <utility>
 #include <cstdint>
-#include <deque>
+#include <limits>
+#include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -68,11 +72,29 @@ class ElevationSampler {
   [[nodiscard]] PassSample sample(JulianDate jd) const;
 
   [[nodiscard]] const Sgp4& propagator() const noexcept { return *prop_; }
+  [[nodiscard]] const TopocentricFrame& frame() const noexcept {
+    return frame_;
+  }
 
  private:
   const Sgp4* prop_;
   TopocentricFrame frame_;
 };
+
+/// Bisect for the elevation-mask crossing between jd_lo and jd_hi (which
+/// must bracket a visibility transition). Exposed so the shared-ephemeris
+/// scan (orbit/ephemeris.h) refines AOS/LOS with the *same* primitive as
+/// predict_passes — bit-identical windows depend on it.
+[[nodiscard]] JulianDate refine_mask_crossing(const ElevationSampler& sampler,
+                                              JulianDate jd_lo,
+                                              JulianDate jd_hi,
+                                              double mask_deg, double tol_s);
+
+/// Golden-section search for the max elevation inside [a, b]; returns
+/// {tca_jd, max_elevation_deg}. Shared between the legacy and
+/// shared-ephemeris scans for the same reason as refine_mask_crossing.
+[[nodiscard]] std::pair<JulianDate, double> refine_max_elevation(
+    const ElevationSampler& sampler, JulianDate a, JulianDate b);
 
 /// Geometry of a satellite at a given instant, as seen from `observer`.
 [[nodiscard]] PassSample sample_geometry(const Sgp4& prop,
@@ -94,13 +116,14 @@ struct PassBatchRequest {
 
 /// Predict every request's windows over the same span.
 ///
-/// Requests are independent, so they fan out across a fixed-size thread
-/// pool (sim::ThreadPool); results come back in input order and are
+/// Routed through the shared-ephemeris engine: requests naming the same
+/// propagator share its coarse-grid states, requests naming the same
+/// observer share one TopocentricFrame, and conservative culling skips
+/// provably-below-mask samples. Results come back in input order and are
 /// byte-identical to calling predict_passes serially per request.
 ///
 /// `threads` semantics: 0 = all hardware threads (the process-wide shared
-/// pool), 1 = exact legacy path (serial loop on the calling thread, no
-/// pool), N > 1 = N workers.
+/// pool), 1 = serial on the calling thread (no pool), N > 1 = N workers.
 ///
 /// When `metrics` is non-null the call records its wall time into the
 /// "orbit.pass_batch.latency_ms" histogram and bumps the
@@ -111,6 +134,35 @@ struct PassBatchRequest {
     JulianDate jd_end, const PassPredictionOptions& opts = {},
     unsigned threads = 0, obs::MetricsRegistry* metrics = nullptr);
 
+/// One ground site of a multi-observer grid prediction. A NaN mask (the
+/// default) means "use opts.min_elevation_deg"; setting it lets callers
+/// with heterogeneous masks (e.g. DtS nodes at the visibility mask and
+/// ground stations at their own minimum elevation) share one grid call.
+struct GridObserver {
+  Geodetic location;
+  double min_elevation_deg = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Predict windows for every (satellite, observer) pair over one span,
+/// through the shared-ephemeris + conservative-culling engine
+/// (orbit/ephemeris.h): each satellite is propagated once per coarse
+/// step and shared across all observers, GMST is evaluated once per step
+/// across all satellites, and provably-below-mask samples are skipped.
+/// Result is indexed [satellite][observer] and every window is
+/// bit-identical to predict_passes on the same pair.
+///
+/// `threads` follows predict_passes_batch semantics (0 = shared pool,
+/// 1 = serial, N = local pool); pairs fan out across the pool.
+/// When `metrics` is non-null the engine records orbit.ephemeris.*
+/// reuse/cull counters and a scan-latency histogram.
+[[nodiscard]] std::vector<std::vector<std::vector<ContactWindow>>>
+predict_passes_grid(const std::vector<const Sgp4*>& satellites,
+                    const std::vector<GridObserver>& observers,
+                    JulianDate jd_start, JulianDate jd_end,
+                    const PassPredictionOptions& opts = {},
+                    unsigned threads = 0,
+                    obs::MetricsRegistry* metrics = nullptr);
+
 /// Memoizes predicted windows per satellite.
 ///
 /// Key = (TLE epoch + orbital elements, observer, span, prediction
@@ -118,14 +170,20 @@ struct PassBatchRequest {
 /// an identical computation would have produced. The campaign drivers
 /// (run_passive_campaign, constellation_windows, per_satellite_daily_hours)
 /// repeatedly re-derive the same windows for the same satellite/site/span;
-/// this cache collapses those recomputations. Thread-safe; bounded FIFO.
+/// this cache collapses those recomputations. Thread-safe; bounded LRU
+/// (hits refresh recency). get_or_predict is single-flight: concurrent
+/// misses on the same key block on the first caller's computation instead
+/// of each running predict_passes.
 class ContactWindowCache {
  public:
   explicit ContactWindowCache(std::size_t max_entries = 4096)
       : max_entries_(max_entries) {}
 
   /// Return the cached windows for (tle, observer, span, opts), computing
-  /// and inserting them on a miss.
+  /// and inserting them on a miss. Waiting on another caller's in-flight
+  /// computation of the same key counts as a hit (only the first caller
+  /// records the miss and does the work); if that computation throws, the
+  /// exception is rethrown to every waiter.
   [[nodiscard]] std::vector<ContactWindow> get_or_predict(
       const Tle& tle, const Geodetic& observer, JulianDate jd_start,
       JulianDate jd_end, const PassPredictionOptions& opts = {});
@@ -148,30 +206,65 @@ class ContactWindowCache {
                       JulianDate jd_start, JulianDate jd_end,
                       const PassPredictionOptions& opts);
 
-  friend std::vector<std::vector<ContactWindow>> predict_passes_batch_cached(
-      const std::vector<Tle>& tles, const Geodetic& observer,
-      JulianDate jd_start, JulianDate jd_end,
-      const PassPredictionOptions& opts, unsigned threads,
-      ContactWindowCache* cache, obs::MetricsRegistry* metrics);
+  struct Entry {
+    std::vector<ContactWindow> windows;
+    std::list<Key>::iterator recency;  // position in recency_
+  };
+  // One in-flight computation, shared between the owner and any waiters.
+  struct InFlight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::vector<ContactWindow> windows;
+    std::exception_ptr error;
+  };
+
+  friend std::vector<std::vector<std::vector<ContactWindow>>>
+  predict_passes_grid_cached(const std::vector<Tle>& tles,
+                             const std::vector<GridObserver>& observers,
+                             JulianDate jd_start, JulianDate jd_end,
+                             const PassPredictionOptions& opts,
+                             unsigned threads, ContactWindowCache* cache,
+                             obs::MetricsRegistry* metrics);
 
   void insert(const Key& key, const std::vector<ContactWindow>& windows);
+  // Move `it` to most-recently-used. Caller holds mutex_.
+  void touch(std::map<Key, Entry>::iterator it);
 
   mutable std::mutex mutex_;
-  std::map<Key, std::vector<ContactWindow>> entries_;
-  std::deque<Key> insertion_order_;  // FIFO eviction
+  std::map<Key, Entry> entries_;
+  std::list<Key> recency_;  // front = LRU victim, back = most recent
+  std::map<Key, std::shared_ptr<InFlight>> inflight_;
   std::size_t max_entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };
 
-/// Per-TLE windows over one site, served from `cache` where possible and
-/// batch-predicted (see predict_passes_batch) for the misses. Results in
-/// input (TLE) order. Pass cache = nullptr to bypass caching entirely.
+/// Cached multi-observer prediction: predict_passes_grid semantics (result
+/// indexed [satellite][observer], per-observer masks honored) with every
+/// (satellite, observer) pair served from `cache` where possible and the
+/// misses computed in ONE shared-ephemeris engine scan. Cache keys use the
+/// observer's *effective* mask, so entries interoperate with
+/// predict_passes_batch_cached and get_or_predict.
+[[nodiscard]] std::vector<std::vector<std::vector<ContactWindow>>>
+predict_passes_grid_cached(const std::vector<Tle>& tles,
+                           const std::vector<GridObserver>& observers,
+                           JulianDate jd_start, JulianDate jd_end,
+                           const PassPredictionOptions& opts = {},
+                           unsigned threads = 0,
+                           ContactWindowCache* cache =
+                               &ContactWindowCache::global(),
+                           obs::MetricsRegistry* metrics = nullptr);
+
+/// Per-TLE windows over one site: predict_passes_grid_cached with a
+/// single observer at the options' mask. Results in input (TLE) order.
+/// Pass cache = nullptr to bypass caching entirely.
 ///
 /// When `metrics` is non-null the call adds this probe's hits/misses to
 /// the "orbit.pass_cache.hits" / "orbit.pass_cache.misses" counters and
-/// refreshes the "orbit.pass_cache.entries" gauge, in addition to the
-/// predict_passes_batch instrumentation for the miss computation.
+/// refreshes the "orbit.pass_cache.entries" gauge once per call, in
+/// addition to the engine's orbit.ephemeris.* instrumentation for the
+/// miss computation.
 [[nodiscard]] std::vector<std::vector<ContactWindow>>
 predict_passes_batch_cached(const std::vector<Tle>& tles,
                             const Geodetic& observer, JulianDate jd_start,

@@ -51,6 +51,8 @@ class Sgp4 {
   [[nodiscard]] double mean_motion_rad_min() const noexcept { return xnodp_; }
   /// Semi-major axis recovered at init, earth radii.
   [[nodiscard]] double semi_major_axis_er() const noexcept { return aodp_; }
+  /// Epoch eccentricity (used by the conservative pass-culling bounds).
+  [[nodiscard]] double eccentricity() const noexcept { return e0_; }
 
  private:
   // Epoch elements (radians / rad-per-min).

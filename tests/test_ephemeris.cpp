@@ -1,0 +1,557 @@
+// Parity and property tests for the shared-ephemeris pass-prediction
+// engine (orbit/ephemeris.h) and the reworked ContactWindowCache.
+//
+// The engine's contract is *bit-identical* windows: every ContactWindow
+// it emits must compare EXPECT_EQ — raw double equality, no tolerance —
+// against the legacy per-pair predict_passes scan. The randomized sweep
+// below exercises that contract across the paper's Table 3 altitude and
+// inclination bands, all eight measurement sites, heterogeneous masks
+// and varied spans, including truncated-at-span-edge and zero-pass
+// geometries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scenario.h"
+#include "obs/metrics.h"
+#include "orbit/ephemeris.h"
+#include "orbit/look_angles.h"
+#include "orbit/passes.h"
+#include "orbit/sgp4.h"
+#include "orbit/tle.h"
+
+namespace sinet {
+namespace {
+
+using orbit::ContactWindow;
+using orbit::Geodetic;
+using orbit::GridObserver;
+using orbit::JulianDate;
+using orbit::PassPredictionOptions;
+using orbit::Sgp4;
+using orbit::Tle;
+
+void expect_bit_identical(const std::vector<ContactWindow>& got,
+                          const std::vector<ContactWindow>& want,
+                          const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t w = 0; w < got.size(); ++w) {
+    EXPECT_EQ(got[w].aos_jd, want[w].aos_jd) << label << " window " << w;
+    EXPECT_EQ(got[w].los_jd, want[w].los_jd) << label << " window " << w;
+    EXPECT_EQ(got[w].tca_jd, want[w].tca_jd) << label << " window " << w;
+    EXPECT_EQ(got[w].max_elevation_deg, want[w].max_elevation_deg)
+        << label << " window " << w;
+  }
+}
+
+Tle random_tle(std::mt19937_64& rng, int index) {
+  // Paper Table 3 regimes: LEO IoT constellations between ~450 and
+  // ~1200 km, inclinations from mid-latitude to sun-synchronous.
+  static constexpr double kAltBandsKm[] = {450.0, 500.0,  550.0, 600.0,
+                                           650.0, 700.0, 800.0, 1200.0};
+  static constexpr double kIncBandsDeg[] = {30.0, 45.0, 53.0, 63.4,
+                                            85.0, 97.5, 98.6};
+  std::uniform_real_distribution<double> jitter(-20.0, 20.0);
+  std::uniform_real_distribution<double> inc_jitter(-1.0, 1.0);
+  std::uniform_real_distribution<double> ecc(0.0, 0.02);
+  std::uniform_real_distribution<double> angle(0.0, 360.0);
+
+  orbit::KeplerianElements kep;
+  kep.altitude_km = kAltBandsKm[index % 8] + jitter(rng);
+  kep.inclination_deg = kIncBandsDeg[(index / 8) % 7] + inc_jitter(rng);
+  kep.eccentricity = ecc(rng);
+  kep.raan_deg = angle(rng);
+  kep.arg_perigee_deg = angle(rng);
+  kep.mean_anomaly_deg = angle(rng);
+  return orbit::make_tle("RAND-" + std::to_string(index), 90000 + index,
+                         kep, core::campaign_epoch_jd());
+}
+
+TEST(ScanGrid, MatchesLegacyFloatAccumulation) {
+  const JulianDate jd0 = core::campaign_epoch_jd() + 0.123456789;
+  const JulianDate jd1 = jd0 + 0.6789;
+  const double step_s = 30.0;
+  const orbit::ScanGrid grid(jd0, jd1, step_s);
+
+  // Replay predict_passes' own accumulation: jd += step_days, clamped.
+  const double step_days = step_s / orbit::kSecondsPerDay;
+  std::vector<JulianDate> want;
+  want.push_back(jd0);
+  for (JulianDate jd = jd0 + step_days;; jd += step_days) {
+    const JulianDate t = std::min(jd, jd1);
+    want.push_back(t);
+    if (t >= jd1) break;
+  }
+  ASSERT_EQ(grid.size(), want.size());
+  for (std::size_t k = 0; k < want.size(); ++k)
+    EXPECT_EQ(grid.time(k), want[k]) << "sample " << k;
+  EXPECT_EQ(grid.time(grid.size() - 1), jd1);
+
+  EXPECT_THROW(orbit::ScanGrid(jd1, jd0, step_s), std::invalid_argument);
+  EXPECT_THROW(orbit::ScanGrid(jd0, jd1, 0.0), std::invalid_argument);
+}
+
+TEST(EphemerisTable, PositionsMatchElevationSampler) {
+  std::mt19937_64 rng(7);
+  const Tle tle = random_tle(rng, 5);
+  const Sgp4 prop(tle);
+  const Geodetic site{22.3, 114.2, 0.05};
+  const JulianDate jd0 = core::campaign_epoch_jd();
+  const orbit::ScanGrid grid(jd0, jd0 + 0.2, 60.0);
+
+  const std::vector<const Sgp4*> sats{&prop};
+  orbit::EphemerisTable table(sats, grid);
+  table.build(0, grid.size(), nullptr);
+  EXPECT_EQ(table.propagations(), grid.size());
+
+  const orbit::ElevationSampler sampler(prop, site);
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    const double from_table = orbit::elevation_from_ecef(
+        sampler.frame(), table.position_ecef_km(0, k));
+    EXPECT_EQ(from_table, sampler.elevation_deg(grid.time(k)))
+        << "sample " << k;
+    EXPECT_EQ(table.distance_km(0, k), table.position_ecef_km(0, k).norm());
+  }
+}
+
+TEST(CullBounds, SatelliteBoundsAreConservative) {
+  orbit::KeplerianElements kep;
+  kep.altitude_km = 550.0;
+  kep.eccentricity = 0.01;
+  const Tle tle =
+      orbit::make_tle("BOUNDS", 90001, kep, core::campaign_epoch_jd());
+  const Sgp4 prop(tle);
+  const auto bounds = orbit::satellite_cull_bounds(prop);
+  ASSERT_TRUE(bounds.valid);
+
+  const double a = prop.semi_major_axis_er() * orbit::kEarthRadiusKm;
+  const double e = prop.eccentricity();
+  // The distance bound must clear the osculating apogee by the margin.
+  EXPECT_GE(bounds.max_distance_km, a * (1.0 + e));
+  // The rate bound must clear the circular mean motion plus Earth spin.
+  const double mean_motion = std::sqrt(orbit::kMuEarthKm3PerS2 / (a * a * a));
+  EXPECT_GT(bounds.max_angular_rate_rad_s, mean_motion);
+  EXPECT_LT(bounds.max_angular_rate_rad_s, 10.0 * mean_motion);
+}
+
+TEST(CullBounds, HorizonConeIsMonotone) {
+  const auto geom = orbit::observer_cull_geometry(Geodetic{51.5, -0.1, 0.0});
+  EXPECT_NEAR(geom.radius_km, 6365.0, 25.0);
+  EXPECT_GE(geom.vertical_deflection_rad, 0.0);
+  EXPECT_LT(geom.vertical_deflection_rad, 0.005);  // <= ~0.2 deg on WGS-84
+
+  const double d = orbit::kEarthRadiusKm + 550.0;
+  const double g0 = orbit::horizon_cone_half_angle_rad(geom, d, 0.0);
+  const double g10 = orbit::horizon_cone_half_angle_rad(geom, d, 10.0);
+  const double g25 = orbit::horizon_cone_half_angle_rad(geom, d, 25.0);
+  EXPECT_GT(g0, g10);
+  EXPECT_GT(g10, g25);
+  // Higher satellites see the observer from farther out.
+  const double g0_high =
+      orbit::horizon_cone_half_angle_rad(geom, d + 700.0, 0.0);
+  EXPECT_GT(g0_high, g0);
+  // A 550 km horizon cone is ~24 deg; sanity-band it.
+  EXPECT_GT(g0, 0.3);
+  EXPECT_LT(g0, 0.6);
+  // Degenerate inputs disable culling (cone covers the sphere).
+  EXPECT_GE(orbit::horizon_cone_half_angle_rad(geom, 0.0, 0.0), 3.14159);
+}
+
+// The tentpole property: windows from the shared+culled grid scan are
+// bit-identical to the legacy per-pair scan across >= 200 randomized
+// TLEs spanning the Table 3 bands, all 8 paper sites, heterogeneous
+// per-site masks, and varied spans. Also checks that the sweep actually
+// exercised span-edge truncation and zero-pass pairs.
+TEST(EphemerisParity, RandomizedTlesAcrossBandsAndSites) {
+  const auto sites = core::paper_measurement_sites();
+  ASSERT_EQ(sites.size(), 8u);
+  static constexpr double kMasks[] = {0.0, 5.0, 10.0, 25.0};
+
+  std::mt19937_64 rng(20260805u);
+  std::uniform_real_distribution<double> start_offset(0.0, 1.0);
+  std::uniform_real_distribution<double> span_days(0.35, 0.75);
+
+  constexpr int kGroups = 8;
+  constexpr int kTlesPerGroup = 25;  // 200 TLEs total
+  int truncated = 0;
+  int empty_pairs = 0;
+
+  for (int g = 0; g < kGroups; ++g) {
+    std::vector<Tle> tles;
+    std::vector<Sgp4> props;
+    tles.reserve(kTlesPerGroup);
+    props.reserve(kTlesPerGroup);
+    for (int i = 0; i < kTlesPerGroup; ++i) {
+      tles.push_back(random_tle(rng, g * kTlesPerGroup + i));
+      props.emplace_back(tles.back());
+    }
+    std::vector<const Sgp4*> sat_ptrs;
+    for (const Sgp4& p : props) sat_ptrs.push_back(&p);
+
+    std::vector<GridObserver> observers;
+    for (std::size_t o = 0; o < sites.size(); ++o)
+      observers.push_back(
+          GridObserver{sites[o].location, kMasks[o % 4]});
+
+    const JulianDate jd0 = core::campaign_epoch_jd() + start_offset(rng);
+    const JulianDate jd1 = jd0 + span_days(rng);
+    PassPredictionOptions opts;
+    opts.coarse_step_s = 60.0;
+
+    const auto grid = orbit::predict_passes_grid(sat_ptrs, observers, jd0,
+                                                 jd1, opts, /*threads=*/1);
+    ASSERT_EQ(grid.size(), props.size());
+    for (std::size_t s = 0; s < props.size(); ++s) {
+      ASSERT_EQ(grid[s].size(), observers.size());
+      for (std::size_t o = 0; o < observers.size(); ++o) {
+        PassPredictionOptions lopts = opts;
+        lopts.min_elevation_deg = observers[o].min_elevation_deg;
+        const auto legacy = orbit::predict_passes(
+            props[s], observers[o].location, jd0, jd1, lopts);
+        expect_bit_identical(grid[s][o], legacy,
+                             "group " + std::to_string(g) + " sat " +
+                                 std::to_string(s) + " site " +
+                                 std::to_string(o));
+        if (legacy.empty()) ++empty_pairs;
+        for (const ContactWindow& w : legacy)
+          if (w.aos_jd == jd0 || w.los_jd == jd1) ++truncated;
+      }
+    }
+  }
+  // The sweep must have covered the edge geometries it claims to.
+  EXPECT_GT(truncated, 0);
+  EXPECT_GT(empty_pairs, 0);
+}
+
+TEST(EphemerisParity, TruncationAtSpanEdges) {
+  orbit::KeplerianElements kep;  // 500 km SSO: passes over London daily
+  const Tle tle =
+      orbit::make_tle("TRUNC", 90002, kep, core::campaign_epoch_jd());
+  const Sgp4 prop(tle);
+  const GridObserver london{Geodetic{51.5074, -0.1278, 0.035}};
+  const JulianDate jd0 = core::campaign_epoch_jd();
+
+  PassPredictionOptions opts;
+  opts.coarse_step_s = 30.0;
+  const auto full =
+      orbit::predict_passes(prop, london.location, jd0, jd0 + 1.0, opts);
+  ASSERT_FALSE(full.empty());
+
+  // End the span at the first window's TCA: the window must come back
+  // truncated (los == jd_end) and still bit-identical to legacy.
+  const JulianDate cut_end = full.front().tca_jd;
+  const auto grid_end = orbit::predict_passes_grid(
+      {&prop}, {london}, jd0, cut_end, opts, /*threads=*/1);
+  const auto legacy_end =
+      orbit::predict_passes(prop, london.location, jd0, cut_end, opts);
+  expect_bit_identical(grid_end[0][0], legacy_end, "end-truncated");
+  ASSERT_FALSE(legacy_end.empty());
+  EXPECT_EQ(legacy_end.back().los_jd, cut_end);
+
+  // Start the span at the first window's TCA: the window opens already
+  // in progress (aos == jd_start).
+  const JulianDate cut_start = full.front().tca_jd;
+  const JulianDate far_end = cut_start + 0.5;
+  const auto grid_start = orbit::predict_passes_grid(
+      {&prop}, {london}, cut_start, far_end, opts, /*threads=*/1);
+  const auto legacy_start =
+      orbit::predict_passes(prop, london.location, cut_start, far_end, opts);
+  expect_bit_identical(grid_start[0][0], legacy_start, "start-truncated");
+  ASSERT_FALSE(legacy_start.empty());
+  EXPECT_EQ(legacy_start.front().aos_jd, cut_start);
+}
+
+TEST(EphemerisParity, ZeroPassGeometryIsCulledNotMissed) {
+  // A near-equatorial satellite never rises over a high-latitude site;
+  // the cull must skip essentially the whole span without ever emitting
+  // a window the exact scan would not have.
+  orbit::KeplerianElements kep;
+  kep.altitude_km = 550.0;
+  kep.inclination_deg = 0.5;
+  const Tle tle =
+      orbit::make_tle("EQUATOR", 90003, kep, core::campaign_epoch_jd());
+  const Sgp4 prop(tle);
+  const GridObserver helsinki{Geodetic{60.17, 24.94, 0.0}};
+  const JulianDate jd0 = core::campaign_epoch_jd();
+  const JulianDate jd1 = jd0 + 2.0;
+  PassPredictionOptions opts;
+  opts.coarse_step_s = 30.0;
+
+  obs::MetricsRegistry metrics;
+  const auto windows = orbit::scan_pass_pairs(
+      {&prop}, {helsinki}, {orbit::PairTask{0, 0}}, jd0, jd1, opts, {},
+      /*threads=*/1, &metrics);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_TRUE(windows[0].empty());
+  EXPECT_TRUE(
+      orbit::predict_passes(prop, helsinki.location, jd0, jd1, opts).empty());
+
+  const auto snap = metrics.snapshot();
+  const std::uint64_t visited = snap.counters.at("orbit.ephemeris.samples_visited");
+  const std::uint64_t culled = snap.counters.at("orbit.ephemeris.samples_culled");
+  const orbit::ScanGrid grid(jd0, jd1, opts.coarse_step_s);
+  EXPECT_EQ(visited + culled, grid.size());
+  EXPECT_GT(culled, static_cast<std::uint64_t>(0.9 * grid.size()));
+}
+
+TEST(EphemerisParity, SampleConservationAcrossPairs) {
+  std::mt19937_64 rng(11);
+  std::vector<Tle> tles;
+  std::vector<Sgp4> props;
+  for (int i = 0; i < 6; ++i) {
+    tles.push_back(random_tle(rng, i * 9));
+    props.emplace_back(tles.back());
+  }
+  std::vector<const Sgp4*> sat_ptrs;
+  for (const Sgp4& p : props) sat_ptrs.push_back(&p);
+  const std::vector<GridObserver> observers{
+      GridObserver{Geodetic{22.3, 114.2, 0.05}},
+      GridObserver{Geodetic{-33.87, 151.2, 0.02}, 10.0}};
+  std::vector<orbit::PairTask> pairs;
+  for (std::size_t s = 0; s < props.size(); ++s)
+    for (std::size_t o = 0; o < observers.size(); ++o)
+      pairs.push_back(orbit::PairTask{s, o});
+
+  const JulianDate jd0 = core::campaign_epoch_jd();
+  const JulianDate jd1 = jd0 + 1.0;
+  PassPredictionOptions opts;
+  opts.coarse_step_s = 30.0;
+
+  // Chunked scan (tiny chunks to force many boundary crossings) must
+  // visit-or-cull every grid sample of every pair exactly once.
+  orbit::EphemerisScanOptions scan_opts;
+  scan_opts.chunk_samples = 64;
+  obs::MetricsRegistry metrics;
+  const auto chunked =
+      orbit::scan_pass_pairs(sat_ptrs, observers, pairs, jd0, jd1, opts,
+                             scan_opts, /*threads=*/1, &metrics);
+  const auto snap = metrics.snapshot();
+  const orbit::ScanGrid grid(jd0, jd1, opts.coarse_step_s);
+  EXPECT_EQ(snap.counters.at("orbit.ephemeris.samples_visited") +
+                snap.counters.at("orbit.ephemeris.samples_culled"),
+            pairs.size() * grid.size());
+  EXPECT_EQ(snap.counters.at("orbit.ephemeris.pairs"), pairs.size());
+
+  // And chunking must not change a single bit of any window (skips and
+  // open windows cross chunk boundaries).
+  const auto unchunked = orbit::scan_pass_pairs(
+      sat_ptrs, observers, pairs, jd0, jd1, opts, {}, /*threads=*/1);
+  ASSERT_EQ(chunked.size(), unchunked.size());
+  for (std::size_t p = 0; p < pairs.size(); ++p)
+    expect_bit_identical(chunked[p], unchunked[p],
+                         "pair " + std::to_string(p));
+
+  // Culling disabled (share-only arm) is also bit-identical.
+  orbit::EphemerisScanOptions no_cull;
+  no_cull.cull = false;
+  const auto shared_only = orbit::scan_pass_pairs(
+      sat_ptrs, observers, pairs, jd0, jd1, opts, no_cull, /*threads=*/1);
+  for (std::size_t p = 0; p < pairs.size(); ++p)
+    expect_bit_identical(shared_only[p], unchunked[p],
+                         "no-cull pair " + std::to_string(p));
+}
+
+TEST(EphemerisParity, ParallelScanMatchesSerial) {
+  std::mt19937_64 rng(13);
+  std::vector<Tle> tles;
+  std::vector<Sgp4> props;
+  for (int i = 0; i < 8; ++i) {
+    tles.push_back(random_tle(rng, i * 7 + 3));
+    props.emplace_back(tles.back());
+  }
+  std::vector<const Sgp4*> sat_ptrs;
+  for (const Sgp4& p : props) sat_ptrs.push_back(&p);
+  const std::vector<GridObserver> observers{
+      GridObserver{Geodetic{51.5, -0.13, 0.035}},
+      GridObserver{Geodetic{1.35, 103.8, 0.0}, 5.0},
+      GridObserver{Geodetic{-33.87, 151.2, 0.02}, 25.0}};
+  const JulianDate jd0 = core::campaign_epoch_jd();
+  const JulianDate jd1 = jd0 + 1.0;
+  PassPredictionOptions opts;
+  opts.coarse_step_s = 60.0;
+
+  const auto serial = orbit::predict_passes_grid(sat_ptrs, observers, jd0,
+                                                 jd1, opts, /*threads=*/1);
+  const auto pooled = orbit::predict_passes_grid(sat_ptrs, observers, jd0,
+                                                 jd1, opts, /*threads=*/4);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t s = 0; s < serial.size(); ++s)
+    for (std::size_t o = 0; o < observers.size(); ++o)
+      expect_bit_identical(pooled[s][o], serial[s][o],
+                           "sat " + std::to_string(s) + " obs " +
+                               std::to_string(o));
+}
+
+TEST(EphemerisParity, BatchDedupsSharedSatellitesAndObservers) {
+  std::mt19937_64 rng(17);
+  const Tle tle_a = random_tle(rng, 2);
+  const Tle tle_b = random_tle(rng, 42);
+  const Sgp4 prop_a(tle_a);
+  const Sgp4 prop_b(tle_b);
+  const Geodetic hk{22.3, 114.2, 0.05};
+  const Geodetic syd{-33.87, 151.2, 0.02};
+
+  // Duplicate propagators and observers across requests: the engine
+  // dedups both, but results must still come back per-request and
+  // bit-identical to serial predict_passes.
+  const std::vector<orbit::PassBatchRequest> requests{
+      {&prop_a, hk}, {&prop_b, hk}, {&prop_a, syd},
+      {&prop_b, syd}, {&prop_a, hk},  // exact repeat of request 0
+  };
+  const JulianDate jd0 = core::campaign_epoch_jd();
+  const JulianDate jd1 = jd0 + 1.0;
+  PassPredictionOptions opts;
+  opts.min_elevation_deg = 5.0;
+
+  const auto batch =
+      orbit::predict_passes_batch(requests, jd0, jd1, opts, /*threads=*/1);
+  ASSERT_EQ(batch.size(), requests.size());
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const auto legacy = orbit::predict_passes(
+        *requests[r].propagator, requests[r].observer, jd0, jd1, opts);
+    expect_bit_identical(batch[r], legacy, "request " + std::to_string(r));
+  }
+}
+
+TEST(GridCached, MatchesUncachedAndServesHits) {
+  std::mt19937_64 rng(19);
+  std::vector<Tle> tles;
+  std::vector<Sgp4> props;
+  for (int i = 0; i < 4; ++i) {
+    tles.push_back(random_tle(rng, i * 31));
+    props.emplace_back(tles.back());
+  }
+  std::vector<const Sgp4*> sat_ptrs;
+  for (const Sgp4& p : props) sat_ptrs.push_back(&p);
+  const std::vector<GridObserver> observers{
+      GridObserver{Geodetic{22.3, 114.2, 0.05}},
+      GridObserver{Geodetic{51.5, -0.13, 0.035}, 10.0}};
+  const JulianDate jd0 = core::campaign_epoch_jd();
+  const JulianDate jd1 = jd0 + 0.5;
+  PassPredictionOptions opts;
+  opts.coarse_step_s = 60.0;
+  const std::size_t n_pairs = tles.size() * observers.size();
+
+  orbit::ContactWindowCache cache;
+  const auto uncached = orbit::predict_passes_grid(sat_ptrs, observers, jd0,
+                                                   jd1, opts, /*threads=*/1);
+  const auto first = orbit::predict_passes_grid_cached(
+      tles, observers, jd0, jd1, opts, /*threads=*/1, &cache);
+  auto st = cache.stats();
+  EXPECT_EQ(st.hits, 0u);
+  EXPECT_EQ(st.misses, n_pairs);
+  EXPECT_EQ(st.entries, n_pairs);
+
+  // All-hit second call, with metrics: the entries gauge must still be
+  // refreshed even though no miss computation runs.
+  obs::MetricsRegistry metrics;
+  const auto second = orbit::predict_passes_grid_cached(
+      tles, observers, jd0, jd1, opts, /*threads=*/1, &cache, &metrics);
+  st = cache.stats();
+  EXPECT_EQ(st.hits, n_pairs);
+  EXPECT_EQ(st.misses, n_pairs);
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("orbit.pass_cache.hits"), n_pairs);
+  ASSERT_TRUE(snap.gauges.count("orbit.pass_cache.entries"));
+  EXPECT_EQ(snap.gauges.at("orbit.pass_cache.entries").value,
+            static_cast<double>(n_pairs));
+
+  for (std::size_t s = 0; s < tles.size(); ++s)
+    for (std::size_t o = 0; o < observers.size(); ++o) {
+      expect_bit_identical(first[s][o], uncached[s][o],
+                           "first s" + std::to_string(s) + " o" +
+                               std::to_string(o));
+      expect_bit_identical(second[s][o], uncached[s][o],
+                           "second s" + std::to_string(s) + " o" +
+                               std::to_string(o));
+    }
+
+  // Cache keys use the observer's *effective* mask, so batch_cached over
+  // the masked site must hit the same entries.
+  const auto batch = orbit::predict_passes_batch_cached(
+      tles, observers[0].location, jd0, jd1, opts, /*threads=*/1, &cache);
+  EXPECT_EQ(cache.stats().hits, n_pairs + tles.size());
+  for (std::size_t s = 0; s < tles.size(); ++s)
+    expect_bit_identical(batch[s], uncached[s][0],
+                         "batch s" + std::to_string(s));
+}
+
+TEST(ContactWindowCache, LruEvictionRespectsRecency) {
+  std::mt19937_64 rng(23);
+  const Tle a = random_tle(rng, 1);
+  const Tle b = random_tle(rng, 10);
+  const Tle c = random_tle(rng, 20);
+  const Geodetic site{22.3, 114.2, 0.05};
+  const JulianDate jd0 = core::campaign_epoch_jd();
+  const JulianDate jd1 = jd0 + 0.2;
+
+  orbit::ContactWindowCache cache(/*max_entries=*/2);
+  (void)cache.get_or_predict(a, site, jd0, jd1);  // miss: {a}
+  (void)cache.get_or_predict(b, site, jd0, jd1);  // miss: {a, b}
+  (void)cache.get_or_predict(a, site, jd0, jd1);  // hit, touches a
+  auto st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 2u);
+
+  // Inserting c evicts the LRU entry — b, not a, because the hit above
+  // refreshed a's recency. (FIFO would evict a here.)
+  (void)cache.get_or_predict(c, site, jd0, jd1);  // miss: {a, c}
+  EXPECT_EQ(cache.stats().entries, 2u);
+  (void)cache.get_or_predict(a, site, jd0, jd1);  // still cached
+  st = cache.stats();
+  EXPECT_EQ(st.hits, 2u);
+  EXPECT_EQ(st.misses, 3u);
+  (void)cache.get_or_predict(b, site, jd0, jd1);  // evicted: recomputes
+  st = cache.stats();
+  EXPECT_EQ(st.hits, 2u);
+  EXPECT_EQ(st.misses, 4u);
+}
+
+TEST(ContactWindowCache, SingleFlightDedupsConcurrentMisses) {
+  std::mt19937_64 rng(29);
+  const Tle tle = random_tle(rng, 3);
+  const Geodetic site{51.5, -0.13, 0.035};
+  const JulianDate jd0 = core::campaign_epoch_jd();
+  const JulianDate jd1 = jd0 + 1.0;
+
+  orbit::ContactWindowCache cache;
+  std::vector<ContactWindow> r1, r2;
+  std::thread t1([&] { r1 = cache.get_or_predict(tle, site, jd0, jd1); });
+  std::thread t2([&] { r2 = cache.get_or_predict(tle, site, jd0, jd1); });
+  t1.join();
+  t2.join();
+
+  // Whichever thread arrives second — during the first's computation or
+  // after it — must be served without recomputing: exactly one miss.
+  const auto st = cache.stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.entries, 1u);
+  expect_bit_identical(r1, r2, "concurrent");
+  expect_bit_identical(
+      r1, orbit::predict_passes(Sgp4(tle), site, jd0, jd1), "vs legacy");
+}
+
+TEST(ContactWindowCache, PropagatesComputationErrors) {
+  std::mt19937_64 rng(31);
+  const Tle tle = random_tle(rng, 4);
+  const Geodetic site{22.3, 114.2, 0.05};
+  const JulianDate jd0 = core::campaign_epoch_jd();
+
+  orbit::ContactWindowCache cache;
+  // predict_passes rejects the inverted span; the owner's exception must
+  // surface and the in-flight slot must be cleaned up so the key works
+  // again afterwards.
+  EXPECT_THROW((void)cache.get_or_predict(tle, site, jd0, jd0 - 1.0),
+               std::invalid_argument);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.get_or_predict(tle, site, jd0, jd0 + 1.0).empty());
+}
+
+}  // namespace
+}  // namespace sinet
