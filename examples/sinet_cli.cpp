@@ -28,6 +28,7 @@
 #include "exp/sweep_runner.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
+#include "orbit/ephemeris.h"
 #include "orbit/tle_catalog.h"
 #include "trace/csv.h"
 
@@ -44,7 +45,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  sinet [--metrics <out.json>] <subcommand> ...\n"
+      "  sinet [--metrics <out.json>] [--propagation-mode <mode>]\n"
+      "        <subcommand> ...\n"
       "  sinet passes <lat> <lon> [constellation=Tianqi] [hours=24]\n"
       "  sinet availability <lat>\n"
       "  sinet campaign <site-code|all> <days> <out.csv>\n"
@@ -57,6 +59,13 @@ int usage() {
       "  --metrics <out.json>  write a structured run report (event-queue,\n"
       "                        thread-pool, pass-cache and campaign\n"
       "                        counters) after the subcommand finishes\n"
+      "  --propagation-mode <reference|fast>\n"
+      "                        orbit propagation kernels: 'reference' is\n"
+      "                        the bit-exact scalar SGP4 path (default),\n"
+      "                        'fast' enables the SoA/SIMD batch kernels\n"
+      "                        (window edges within one coarse step; see\n"
+      "                        docs/PERFORMANCE.md). Also settable via\n"
+      "                        SINET_PROPAGATION_MODE.\n"
       "\n"
       "  sweep runs the Monte-Carlo campaign described by <spec.json>\n"
       "  (see docs/SWEEPS.md), checkpointing each completed point to\n"
@@ -256,13 +265,28 @@ int cmd_sweep(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the global --metrics flag before subcommand dispatch so every
-  // subcommand keeps its positional argument layout.
+  // Strip the global flags (--metrics, --propagation-mode) before
+  // subcommand dispatch so every subcommand keeps its positional
+  // argument layout.
   std::vector<char*> args(argv, argv + argc);
   std::string metrics_path;
   for (std::size_t i = 1; i + 1 < args.size(); ++i) {
     if (std::strcmp(args[i], "--metrics") == 0) {
       metrics_path = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      break;
+    }
+  }
+  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+    if (std::strcmp(args[i], "--propagation-mode") == 0) {
+      try {
+        orbit::set_propagation_mode(
+            orbit::parse_propagation_mode(args[i + 1]));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
       break;

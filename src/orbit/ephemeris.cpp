@@ -1,20 +1,67 @@
 #include "orbit/ephemeris.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "orbit/frames.h"
 #include "orbit/look_angles.h"
+#include "orbit/simd.h"
 #include "orbit/tle.h"
 #include "sim/thread_pool.h"
 
 namespace sinet::orbit {
+
+namespace {
+
+PropagationMode mode_from_env() {
+  const char* env = std::getenv("SINET_PROPAGATION_MODE");
+  if (env == nullptr) return PropagationMode::kReference;
+  try {
+    return parse_propagation_mode(env);
+  } catch (const std::invalid_argument&) {
+    // Env misconfiguration must not crash static init; the safe default
+    // is the bit-identical reference path.
+    return PropagationMode::kReference;
+  }
+}
+
+std::atomic<PropagationMode>& global_mode() {
+  static std::atomic<PropagationMode> mode{mode_from_env()};
+  return mode;
+}
+
+}  // namespace
+
+PropagationMode propagation_mode() noexcept {
+  return global_mode().load(std::memory_order_relaxed);
+}
+
+void set_propagation_mode(PropagationMode mode) noexcept {
+  global_mode().store(mode, std::memory_order_relaxed);
+}
+
+PropagationMode parse_propagation_mode(std::string_view name) {
+  if (name == "reference" || name == "scalar")
+    return PropagationMode::kReference;
+  if (name == "fast" || name == "simd") return PropagationMode::kFast;
+  throw std::invalid_argument("parse_propagation_mode: unknown mode '" +
+                              std::string(name) +
+                              "' (expected 'reference' or 'fast')");
+}
+
+const char* propagation_mode_name(PropagationMode mode) noexcept {
+  return mode == PropagationMode::kFast ? "fast" : "reference";
+}
 
 ScanGrid::ScanGrid(JulianDate jd_start, JulianDate jd_end,
                    double coarse_step_s) {
@@ -37,8 +84,11 @@ ScanGrid::ScanGrid(JulianDate jd_start, JulianDate jd_end,
 }
 
 EphemerisTable::EphemerisTable(const std::vector<const Sgp4*>& satellites,
-                               const ScanGrid& grid)
-    : satellites_(&satellites), grid_(&grid) {}
+                               const ScanGrid& grid, PropagationMode mode)
+    : satellites_(&satellites), grid_(&grid), mode_(mode) {
+  if (mode_ == PropagationMode::kFast && !satellites.empty())
+    batch_ = std::make_unique<Sgp4Batch>(satellites);
+}
 
 void EphemerisTable::build(std::size_t first, std::size_t count,
                            sim::ThreadPool* pool,
@@ -73,14 +123,77 @@ void EphemerisTable::build(std::size_t first, std::size_t count,
     }
   };
 
-  if (pool != nullptr && n > 1) {
-    pool->parallel_for(n, fill_row);
+  // kFast: four satellite rows per lane group, one batched propagation +
+  // shared-GMST rotation per column. The group starts at the earliest
+  // row_start of its members — trailing members get (harmless) extra
+  // samples, which costs nothing because the column is computed for the
+  // whole group anyway.
+  const auto group_begin = [&](std::size_t g) {
+    const std::size_t lane0 = g * Sgp4Batch::kLaneWidth;
+    const std::size_t members = batch_->group_members(g);
+    std::size_t begin = chunk_end;
+    for (std::size_t l = 0; l < members; ++l)
+      begin = std::min(begin, row_begin(lane0 + l));
+    return begin;
+  };
+  const auto fill_group = [&](std::size_t g) {
+    const std::size_t begin = group_begin(g);
+    if (begin >= chunk_end) return;  // no member needed this chunk
+    const std::size_t lane0 = g * Sgp4Batch::kLaneWidth;
+    const std::size_t members = batch_->group_members(g);
+    double x[Sgp4Batch::kLaneWidth], y[Sgp4Batch::kLaneWidth];
+    double z[Sgp4Batch::kLaneWidth], d[Sgp4Batch::kLaneWidth];
+    LaneStatus status[Sgp4Batch::kLaneWidth];
+    for (std::size_t k = begin; k < chunk_end; ++k) {
+      const JulianDate t = grid_->time(k);
+      const double gmst = gmst_[k - first];
+      const bool ok =
+          batch_->propagate_group_ecef(g, t, gmst, x, y, z, d, status);
+      for (std::size_t l = 0; l < members; ++l) {
+        const std::size_t s = lane0 + l;
+        if (ok || status[l] == LaneStatus::kOk) {
+          positions_[s * count + (k - first)] = Vec3{x[l], y[l], z[l]};
+          distances_[s * count + (k - first)] = d[l];
+        } else {
+          // The scalar propagator either throws the typed
+          // PropagationError the reference path would have surfaced, or
+          // (near-threshold disagreement) supplies a valid state.
+          simd_scalar_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+          const TemeState st = (*satellites_)[s]->at_jd(t);
+          const Vec3 p = teme_to_ecef_position_gmst(st.position_km, gmst);
+          positions_[s * count + (k - first)] = p;
+          distances_[s * count + (k - first)] = p.norm();
+        }
+      }
+    }
+  };
+
+  const bool fast = mode_ == PropagationMode::kFast && batch_ != nullptr;
+  const std::size_t work_items = fast ? batch_->groups() : n;
+  if (fast) {
+    if (pool != nullptr && work_items > 1) {
+      pool->parallel_for(work_items, fill_group);
+    } else {
+      for (std::size_t g = 0; g < work_items; ++g) fill_group(g);
+    }
+    for (std::size_t g = 0; g < batch_->groups(); ++g) {
+      const std::size_t begin = group_begin(g);
+      if (begin >= chunk_end) continue;
+      const std::uint64_t filled = static_cast<std::uint64_t>(
+          batch_->group_members(g) * (chunk_end - begin));
+      propagations_ += filled;
+      simd_lanes_filled_ += filled;
+    }
   } else {
-    for (std::size_t s = 0; s < n; ++s) fill_row(s);
-  }
-  for (std::size_t s = 0; s < n; ++s) {
-    const std::size_t begin = row_begin(s);
-    if (begin < chunk_end) propagations_ += chunk_end - begin;
+    if (pool != nullptr && work_items > 1) {
+      pool->parallel_for(work_items, fill_row);
+    } else {
+      for (std::size_t s = 0; s < n; ++s) fill_row(s);
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::size_t begin = row_begin(s);
+      if (begin < chunk_end) propagations_ += chunk_end - begin;
+    }
   }
 }
 
@@ -176,6 +289,26 @@ struct PairScan {
   std::uint64_t exact_evals = 0;
 };
 
+/// kFast scan unit: up to simd::kLanes pairs sharing one satellite, all
+/// observer-side constants transposed into lane arrays. The lanes scan
+/// in lockstep (one next_k for the block) so one table lookup + one
+/// fused kernel evaluation serves every observer; per-lane window state
+/// and statistics stay in the lanes' PairScan entries, which keeps the
+/// finalize/metrics plumbing identical to the reference path. Pad lanes
+/// replicate lane 0 and are never read back.
+struct FastBlock {
+  std::size_t sat = 0;
+  std::size_t lanes = 0;
+  std::array<std::size_t, simd::kLanes> pair{};
+  TopocentricFrameSoA frames;
+  simd::Vd sin_mask;        // sin(elevation mask)
+  simd::Vd ux, uy, uz;      // observer geocentric unit vectors
+  simd::Vd cos_vis;         // cos(gamma_vis); -1 = lane never culls
+  simd::Vd inv_omega_step;  // 1 / (omega_max * coarse_step_s)
+  bool init_done = false;
+  std::size_t next_k = 1;
+};
+
 }  // namespace
 
 std::vector<std::vector<ContactWindow>> scan_pass_pairs(
@@ -262,11 +395,46 @@ std::vector<std::vector<ContactWindow>> scan_pass_pairs(
     }
   }
 
-  EphemerisTable table(satellites, grid);
+  const PropagationMode mode = scan_opts.mode;
+  EphemerisTable table(satellites, grid, mode);
+
+  // kFast: fuse each satellite's pairs into observer lane blocks.
+  std::vector<FastBlock> blocks;
+  if (mode == PropagationMode::kFast) {
+    std::vector<std::vector<std::size_t>> by_sat(satellites.size());
+    for (std::size_t i = 0; i < scans.size(); ++i)
+      by_sat[scans[i].sat].push_back(i);
+    for (std::size_t s = 0; s < by_sat.size(); ++s) {
+      const std::vector<std::size_t>& members = by_sat[s];
+      for (std::size_t b0 = 0; b0 < members.size(); b0 += simd::kLanes) {
+        FastBlock b;
+        b.sat = s;
+        b.lanes = std::min(simd::kLanes, members.size() - b0);
+        std::array<const TopocentricFrame*, simd::kLanes> frames{};
+        for (std::size_t l = 0; l < simd::kLanes; ++l) {
+          const std::size_t i = members[b0 + (l < b.lanes ? l : 0)];
+          const PairScan& p = scans[i];
+          b.pair[l] = i;
+          frames[l] = &p.sampler.frame();
+          b.sin_mask[l] = std::sin(p.mask_deg * kDegToRad);
+          b.ux[l] = p.geometry->unit_ecef.x;
+          b.uy[l] = p.geometry->unit_ecef.y;
+          b.uz[l] = p.geometry->unit_ecef.z;
+          b.cos_vis[l] = p.cull ? std::cos(p.gamma_vis_rad) : -1.0;
+          b.inv_omega_step[l] =
+              p.cull ? 1.0 / (p.omega_max_rad_s * step_s) : 0.0;
+        }
+        b.frames = pack_topocentric_frames(frames.data(), b.lanes);
+        blocks.push_back(b);
+      }
+    }
+  }
+
   constexpr std::size_t kUnused = std::numeric_limits<std::size_t>::max();
   std::vector<std::size_t> row_start(satellites.size());
   std::vector<std::size_t> active;
-  active.reserve(scans.size());
+  active.reserve(mode == PropagationMode::kFast ? blocks.size()
+                                                : scans.size());
 
   for (std::size_t first = 0; first < total;
        first += scan_opts.chunk_samples) {
@@ -275,19 +443,115 @@ std::vector<std::vector<ContactWindow>> scan_pass_pairs(
 
     active.clear();
     std::fill(row_start.begin(), row_start.end(), kUnused);
-    for (std::size_t i = 0; i < scans.size(); ++i) {
-      const PairScan& p = scans[i];
-      // Every pair visits sample 0 (init) in the first chunk; afterwards
-      // a pair is active only if its next sample lands in this chunk —
-      // culling can have jumped it clean past it.
-      const std::size_t from = p.init_done ? p.next_k : first;
-      if (from >= chunk_end) continue;
-      active.push_back(i);
-      row_start[p.sat] = std::min(row_start[p.sat], from);
+    if (mode == PropagationMode::kFast) {
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const FastBlock& b = blocks[i];
+        const std::size_t from = b.init_done ? b.next_k : first;
+        if (from >= chunk_end) continue;
+        active.push_back(i);
+        row_start[b.sat] = std::min(row_start[b.sat], from);
+      }
+    } else {
+      for (std::size_t i = 0; i < scans.size(); ++i) {
+        const PairScan& p = scans[i];
+        // Every pair visits sample 0 (init) in the first chunk;
+        // afterwards a pair is active only if its next sample lands in
+        // this chunk — culling can have jumped it clean past it.
+        const std::size_t from = p.init_done ? p.next_k : first;
+        if (from >= chunk_end) continue;
+        active.push_back(i);
+        row_start[p.sat] = std::min(row_start[p.sat], from);
+      }
     }
     if (active.empty()) continue;
 
     table.build(first, count, pool, &row_start);
+
+    // Shared AOS/LOS/TCA transition handling: identical refinement
+    // primitives (and brackets) in both modes.
+    const auto handle_transition = [&](PairScan& p, bool vis, JulianDate t) {
+      if (vis && !p.prev_vis) {
+        p.window_start =
+            refine_mask_crossing(p.sampler, t - step_days, t, p.mask_deg,
+                                 opts.refine_tolerance_s);
+      } else if (!vis && p.prev_vis) {
+        const JulianDate window_end =
+            refine_mask_crossing(p.sampler, t - step_days, t, p.mask_deg,
+                                 opts.refine_tolerance_s);
+        ContactWindow w;
+        w.aos_jd = p.window_start;
+        w.los_jd = window_end;
+        const auto [tca, elev] =
+            refine_max_elevation(p.sampler, w.aos_jd, w.los_jd);
+        w.tca_jd = tca;
+        w.max_elevation_deg = elev;
+        p.windows.push_back(w);
+      }
+      p.prev_vis = vis;
+    };
+
+    // kFast: one table lookup + one fused kernel per block sample; the
+    // cull compare and skip margin live in the cosine domain (acos is
+    // 1-Lipschitz-inverse, so gamma - gamma_vis >= cos(gamma_vis) -
+    // cos(gamma) — a conservative lower bound needing no arccosine).
+    const auto scan_block = [&](std::size_t a) {
+      FastBlock& b = blocks[active[a]];
+      if (!b.init_done) {
+        simd::Vi vis0{0, 0, 0, 0};
+        fused_visibility(b.frames, table.position_ecef_km(b.sat, 0),
+                         b.sin_mask, &vis0);
+        for (std::size_t l = 0; l < b.lanes; ++l) {
+          PairScan& p = scans[b.pair[l]];
+          p.prev_vis = vis0[l] != 0;
+          p.window_start = p.prev_vis ? grid.time(0) : 0.0;
+          p.init_done = true;
+          ++p.visited;
+          ++p.exact_evals;
+        }
+        b.init_done = true;
+      }
+      while (b.next_k < chunk_end) {
+        const std::size_t k = b.next_k;
+        const JulianDate t = grid.time(k);
+        const Vec3& pos = table.position_ecef_km(b.sat, k);
+        const double inv_d = 1.0 / table.distance_km(b.sat, k);
+        const simd::Vd cos_gamma =
+            (simd::broadcast(pos.x) * b.ux + simd::broadcast(pos.y) * b.uy +
+             simd::broadcast(pos.z) * b.uz) *
+            simd::broadcast(inv_d);
+        const simd::Vi culled = cos_gamma < b.cos_vis;
+
+        std::size_t advance = 1;
+        simd::Vi vis_mask{0, 0, 0, 0};
+        if (simd::all(culled)) {
+          // Every lane provably below its mask: jump by the weakest
+          // lane's margin (each lane is guaranteed invisible at least
+          // that long, so no transition can hide inside the skip).
+          const simd::Vd steps = (b.cos_vis - cos_gamma) * b.inv_omega_step;
+          double min_steps = steps[0];
+          for (std::size_t l = 1; l < b.lanes; ++l)
+            min_steps = std::min(min_steps, steps[l]);
+          if (min_steps > 1.0)
+            advance = std::min(static_cast<std::size_t>(min_steps),
+                               total - k);
+        } else {
+          fused_visibility(b.frames, pos, b.sin_mask, &vis_mask);
+          vis_mask &= ~culled;
+        }
+
+        for (std::size_t l = 0; l < b.lanes; ++l) {
+          PairScan& p = scans[b.pair[l]];
+          ++p.visited;
+          p.culled += advance - 1;
+          if (culled[l] != 0)
+            ++p.cull_decisions;
+          else
+            ++p.exact_evals;
+          handle_transition(p, vis_mask[l] != 0, t);
+        }
+        b.next_k = k + advance;
+      }
+    };
 
     const auto scan_one = [&](std::size_t a) {
       PairScan& p = scans[active[a]];
@@ -336,31 +600,22 @@ std::vector<std::vector<ContactWindow>> scan_pass_pairs(
         // Identical transition handling (and refinement brackets) to
         // predict_passes; skipped samples are all proven invisible while
         // prev_vis is false, so no transition can hide inside a skip.
-        if (vis && !p.prev_vis) {
-          p.window_start =
-              refine_mask_crossing(p.sampler, t - step_days, t, p.mask_deg,
-                                   opts.refine_tolerance_s);
-        } else if (!vis && p.prev_vis) {
-          const JulianDate window_end =
-              refine_mask_crossing(p.sampler, t - step_days, t, p.mask_deg,
-                                   opts.refine_tolerance_s);
-          ContactWindow w;
-          w.aos_jd = p.window_start;
-          w.los_jd = window_end;
-          const auto [tca, elev] =
-              refine_max_elevation(p.sampler, w.aos_jd, w.los_jd);
-          w.tca_jd = tca;
-          w.max_elevation_deg = elev;
-          p.windows.push_back(w);
-        }
-        p.prev_vis = vis;
+        handle_transition(p, vis, t);
         p.next_k = k + advance;
       }
     };
-    if (pool != nullptr && active.size() > 1) {
-      pool->parallel_for(active.size(), scan_one);
+    if (mode == PropagationMode::kFast) {
+      if (pool != nullptr && active.size() > 1) {
+        pool->parallel_for(active.size(), scan_block);
+      } else {
+        for (std::size_t a = 0; a < active.size(); ++a) scan_block(a);
+      }
     } else {
-      for (std::size_t a = 0; a < active.size(); ++a) scan_one(a);
+      if (pool != nullptr && active.size() > 1) {
+        pool->parallel_for(active.size(), scan_one);
+      } else {
+        for (std::size_t a = 0; a < active.size(); ++a) scan_one(a);
+      }
     }
   }
 
@@ -401,6 +656,14 @@ std::vector<std::vector<ContactWindow>> scan_pass_pairs(
     metrics->counter("orbit.ephemeris.samples_culled").add(culled);
     metrics->counter("orbit.ephemeris.cull_decisions").add(cull_decisions);
     metrics->counter("orbit.ephemeris.exact_elevations").add(exact);
+    metrics->gauge("orbit.simd.mode")
+        .set(mode == PropagationMode::kFast ? 1.0 : 0.0);
+    if (mode == PropagationMode::kFast) {
+      metrics->counter("orbit.simd.lanes_filled")
+          .add(table.simd_lanes_filled());
+      metrics->counter("orbit.simd.scalar_fallbacks")
+          .add(table.simd_scalar_fallbacks());
+    }
   }
 
   for (std::size_t i = 0; i < scans.size(); ++i)

@@ -39,13 +39,17 @@
 // the scan jumps that many whole coarse steps ahead.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <string_view>
 #include <vector>
 
 #include "orbit/geodetic.h"
 #include "orbit/passes.h"
 #include "orbit/sgp4.h"
+#include "orbit/sgp4_batch.h"
 #include "orbit/time.h"
 #include "orbit/vec3.h"
 
@@ -58,6 +62,34 @@ class ThreadPool;
 }  // namespace sinet::sim
 
 namespace sinet::orbit {
+
+/// How the engine evaluates satellite ephemerides and per-sample
+/// elevation classification.
+enum class PropagationMode : int {
+  /// Scalar SGP4 + exact per-pair elevation tests. Windows are
+  /// bit-identical to legacy predict_passes — the seed contract.
+  kReference = 0,
+  /// SoA/SIMD batched SGP4 (orbit/sgp4_batch.h) + fused multi-observer
+  /// visibility in the sine domain + cos-domain culling. AOS/LOS/TCA are
+  /// still refined with the exact scalar primitives, so windows agree
+  /// with kReference within the tolerance documented in
+  /// docs/PERFORMANCE.md (equal counts; edges within one coarse step;
+  /// in practice bit-identical unless a coarse sample sits within
+  /// ~1e-9 deg of the mask).
+  kFast = 1,
+};
+
+/// Process-wide default mode. Initialized once from the
+/// SINET_PROPAGATION_MODE environment variable ("fast" or "reference";
+/// unset/unknown = reference), then adjustable via set_propagation_mode
+/// (e.g. from the CLI's --propagation-mode flag).
+[[nodiscard]] PropagationMode propagation_mode() noexcept;
+void set_propagation_mode(PropagationMode mode) noexcept;
+
+/// Parse "reference" / "fast" (also accepts "scalar" / "simd").
+/// Throws std::invalid_argument on anything else.
+[[nodiscard]] PropagationMode parse_propagation_mode(std::string_view name);
+[[nodiscard]] const char* propagation_mode_name(PropagationMode mode) noexcept;
 
 /// Apogee/perigee slack (km) applied to the SGP4 epoch elements when
 /// bounding the satellite's geocentric distance and speed; absorbs
@@ -106,9 +138,16 @@ class ScanGrid {
 /// the full table (~100+ MB) at once.
 class EphemerisTable {
  public:
-  /// `satellites` and `grid` must outlive the table.
+  /// `satellites` and `grid` must outlive the table. In kFast mode the
+  /// table transposes the propagators into an Sgp4Batch and fills rows
+  /// four satellites per lane group; lanes the batch flags as
+  /// non-physical are re-run through the scalar propagator, which either
+  /// surfaces the same typed PropagationError the reference path would
+  /// have thrown or (near-threshold disagreement) supplies the scalar
+  /// result and counts a fallback.
   EphemerisTable(const std::vector<const Sgp4*>& satellites,
-                 const ScanGrid& grid);
+                 const ScanGrid& grid,
+                 PropagationMode mode = PropagationMode::kReference);
 
   /// (Re)fill the table for grid samples [first, first + count).
   /// `row_start`, when non-null, gives per-satellite first needed sample
@@ -134,15 +173,31 @@ class EphemerisTable {
     return propagations_;
   }
 
+  [[nodiscard]] PropagationMode mode() const noexcept { return mode_; }
+  /// Real (non-pad) satellite-samples produced by the SIMD batch kernel
+  /// across all build() calls. Zero in kReference mode.
+  [[nodiscard]] std::uint64_t simd_lanes_filled() const noexcept {
+    return simd_lanes_filled_;
+  }
+  /// kFast lanes that were re-evaluated by the scalar propagator because
+  /// the batch kernel flagged them non-physical.
+  [[nodiscard]] std::uint64_t simd_scalar_fallbacks() const noexcept {
+    return simd_scalar_fallbacks_.load(std::memory_order_relaxed);
+  }
+
  private:
   const std::vector<const Sgp4*>* satellites_;
   const ScanGrid* grid_;
+  PropagationMode mode_;
+  std::unique_ptr<Sgp4Batch> batch_;  // kFast only
   std::vector<double> gmst_;        // per chunk sample
   std::vector<Vec3> positions_;     // [sat][chunk sample]
   std::vector<double> distances_;   // [sat][chunk sample]
   std::size_t built_first_ = 0;
   std::size_t built_count_ = 0;
   std::uint64_t propagations_ = 0;
+  std::uint64_t simd_lanes_filled_ = 0;
+  std::atomic<std::uint64_t> simd_scalar_fallbacks_{0};
 };
 
 /// Span-wide conservative bounds on one satellite's geometry, derived
@@ -186,12 +241,18 @@ struct PairTask {
 struct EphemerisScanOptions {
   bool cull = true;                  ///< false = share ephemeris only
   std::size_t chunk_samples = 4096;  ///< grid samples per table chunk
+  /// Evaluation mode; the default member initializer reads the
+  /// process-wide propagation_mode() at the moment the options object is
+  /// constructed (so `{}` call sites follow the CLI/env selection).
+  PropagationMode mode = propagation_mode();
 };
 
 /// Run the shared-ephemeris scan for every pair; windows come back in
-/// pair order and are bit-identical to predict_passes per pair. Observers
-/// with a NaN mask use opts.min_elevation_deg (see GridObserver).
-/// `threads` follows predict_passes_batch semantics.
+/// pair order. In PropagationMode::kReference (the default) they are
+/// bit-identical to predict_passes per pair; kFast trades that for speed
+/// within the documented tolerance. Observers with a NaN mask use
+/// opts.min_elevation_deg (see GridObserver). `threads` follows
+/// predict_passes_batch semantics.
 [[nodiscard]] std::vector<std::vector<ContactWindow>> scan_pass_pairs(
     const std::vector<const Sgp4*>& satellites,
     const std::vector<GridObserver>& observers,

@@ -205,7 +205,7 @@ std::vector<std::vector<std::vector<ContactWindow>>> predict_passes_grid(
 
 ContactWindowCache::Key ContactWindowCache::make_key(
     const Tle& tle, const Geodetic& observer, JulianDate jd_start,
-    JulianDate jd_end, const PassPredictionOptions& opts) {
+    JulianDate jd_end, const PassPredictionOptions& opts, double mode_slot) {
   return Key{tle.epoch_jd,
              tle.inclination_deg,
              tle.raan_deg,
@@ -221,13 +221,18 @@ ContactWindowCache::Key ContactWindowCache::make_key(
              jd_end,
              opts.min_elevation_deg,
              opts.coarse_step_s,
-             opts.refine_tolerance_s};
+             opts.refine_tolerance_s,
+             mode_slot};
 }
 
 std::vector<ContactWindow> ContactWindowCache::get_or_predict(
     const Tle& tle, const Geodetic& observer, JulianDate jd_start,
     JulianDate jd_end, const PassPredictionOptions& opts) {
-  const Key key = make_key(tle, observer, jd_start, jd_end, opts);
+  // predict_passes() below always runs the scalar reference propagator,
+  // so this path keys (and stays mutually visible) with kReference.
+  const Key key = make_key(
+      tle, observer, jd_start, jd_end, opts,
+      static_cast<double>(static_cast<int>(PropagationMode::kReference)));
   std::shared_ptr<InFlight> flight;
   bool owner = false;
   {
@@ -337,6 +342,13 @@ predict_passes_grid_cached(const std::vector<Tle>& tles,
   std::vector<std::vector<std::vector<ContactWindow>>> out(tles.size());
   for (auto& per_sat : out) per_sat.resize(observers.size());
 
+  // Resolve the propagation mode once so the probe keys, the engine scan,
+  // and the insert keys all agree even if another thread flips the global
+  // mid-call. Fast-mode results never alias reference-mode entries.
+  EphemerisScanOptions scan_opts;
+  const double mode_slot =
+      static_cast<double>(static_cast<int>(scan_opts.mode));
+
   // Cache keys carry the observer's *effective* mask so they are the
   // same keys get_or_predict / batch_cached would use for that pair.
   const auto effective_opts = [&](std::size_t o) {
@@ -360,7 +372,7 @@ predict_passes_grid_cached(const std::vector<Tle>& tles,
       for (std::size_t o = 0; o < observers.size(); ++o) {
         const auto key = ContactWindowCache::make_key(
             tles[s], observers[o].location, jd_start, jd_end,
-            effective_opts(o));
+            effective_opts(o), mode_slot);
         const auto it = cache->entries_.find(key);
         if (it != cache->entries_.end()) {
           ++cache->hits_;
@@ -401,14 +413,15 @@ predict_passes_grid_cached(const std::vector<Tle>& tles,
       scan_pairs.push_back(PairTask{sat_row[p.satellite], p.observer});
 
     auto computed = scan_pass_pairs(satellites, observers, scan_pairs,
-                                    jd_start, jd_end, opts, {}, threads,
-                                    metrics);
+                                    jd_start, jd_end, opts, scan_opts,
+                                    threads, metrics);
     for (std::size_t m = 0; m < miss_pairs.size(); ++m) {
       const PairTask& p = miss_pairs[m];
       if (cache != nullptr)
         cache->insert(ContactWindowCache::make_key(
                           tles[p.satellite], observers[p.observer].location,
-                          jd_start, jd_end, effective_opts(p.observer)),
+                          jd_start, jd_end, effective_opts(p.observer),
+                          mode_slot),
                       computed[m]);
       out[p.satellite][p.observer] = std::move(computed[m]);
     }

@@ -200,11 +200,14 @@ class ContactWindowCache {
   [[nodiscard]] static ContactWindowCache& global();
 
  private:
-  // Epoch + elements + observer + span + options, compared exactly.
-  using Key = std::array<double, 16>;
+  // Epoch + elements + observer + span + options + propagation mode,
+  // compared exactly. The mode slot keeps kReference and kFast results
+  // from ever aliasing: fast-mode windows are only tolerance-equal, so a
+  // cache filled under one mode must miss under the other.
+  using Key = std::array<double, 17>;
   static Key make_key(const Tle& tle, const Geodetic& observer,
                       JulianDate jd_start, JulianDate jd_end,
-                      const PassPredictionOptions& opts);
+                      const PassPredictionOptions& opts, double mode_slot);
 
   struct Entry {
     std::vector<ContactWindow> windows;

@@ -2,22 +2,29 @@
 
 #include <cmath>
 
+#include "orbit/sgp4_constants.h"
 #include "orbit/time.h"
 
 namespace sinet::orbit {
 
 namespace {
-// WGS-72 gravitational constants, the SGP4/TLE convention.
-constexpr double kXke = 0.0743669161;        // sqrt(mu) in (er/min)^(3/2)
-constexpr double kXkmper = 6378.135;         // earth radius, km
-constexpr double kJ2 = 1.082616e-3;
-constexpr double kJ3 = -2.53881e-6;
-constexpr double kJ4 = -1.65597e-6;
-constexpr double kCk2 = 0.5 * kJ2;           // ae = 1
-constexpr double kCk4 = -0.375 * kJ4;
-constexpr double kQoms2t = 1.88027916e-9;    // ((q0 - s)*ae)^4, q0=120km s=78km
-constexpr double kS = 1.01222928;            // s = ae + 78/xkmper
-constexpr double kAe = 1.0;
+// Constant-exponent powers spelled as multiplications: the hot path pays
+// one pow() call ~20x the cost of a multiply, and every exponent below
+// is a compile-time constant. The 200-TLE parity suite and the golden
+// Spacetrack cases gate these forms against the pow() originals.
+constexpr double cube(double x) noexcept { return x * x * x; }
+constexpr double fourth(double x) noexcept { return (x * x) * (x * x); }
+
+// WGS-72 gravitational constants (orbit/sgp4_constants.h, shared with
+// the SoA batch propagator).
+using sgp4c::kAe;
+using sgp4c::kCk2;
+using sgp4c::kCk4;
+using sgp4c::kJ3;
+using sgp4c::kQoms2t;
+using sgp4c::kS;
+using sgp4c::kXke;
+using sgp4c::kXkmper;
 }  // namespace
 
 Sgp4::Sgp4(const Tle& tle) : epoch_jd_(tle.epoch_jd) {
@@ -66,7 +73,7 @@ Sgp4::Sgp4(const Tle& tle) : epoch_jd_(tle.epoch_jd) {
   if (perigee_km < 156.0) {
     s4 = perigee_km - 78.0;
     if (perigee_km < 98.0) s4 = 20.0;
-    qoms24 = std::pow((120.0 - s4) * kAe / kXkmper, 4.0);
+    qoms24 = fourth((120.0 - s4) * kAe / kXkmper);
     s4 = s4 / kXkmper + kAe;
   }
 
@@ -76,8 +83,9 @@ Sgp4::Sgp4(const Tle& tle) : epoch_jd_(tle.epoch_jd) {
   const double etasq = eta_ * eta_;
   const double eeta = e0_ * eta_;
   const double psisq = std::abs(1.0 - etasq);
-  const double coef = qoms24 * std::pow(tsi, 4.0);
-  const double coef1 = coef / std::pow(psisq, 3.5);
+  const double coef = qoms24 * fourth(tsi);
+  // psisq^3.5 = psisq^3 * sqrt(psisq); psisq = |1 - eta^2| >= 0.
+  const double coef1 = coef / (cube(psisq) * std::sqrt(psisq));
   const double c2 =
       coef1 * xnodp_ *
       (aodp_ * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq)) +
@@ -85,7 +93,7 @@ Sgp4::Sgp4(const Tle& tle) : epoch_jd_(tle.epoch_jd) {
            (8.0 + 3.0 * etasq * (8.0 + etasq)));
   c1_ = bstar_ * c2;
 
-  const double a3ovk2 = -kJ3 / kCk2 * std::pow(kAe, 3.0);
+  const double a3ovk2 = -kJ3 / kCk2 * cube(kAe);
   c3_ = e0_ > 1e-4 ? coef * tsi * a3ovk2 * xnodp_ * kAe * sinio_ / e0_ : 0.0;
 
   x1mth2_ = 1.0 - theta2;
@@ -124,7 +132,7 @@ Sgp4::Sgp4(const Tle& tle) : epoch_jd_(tle.epoch_jd) {
       std::abs(1.0 + cosio_) > 1.5e-12 ? 1.0 + cosio_ : 1.5e-12;
   xlcof_ = 0.125 * a3ovk2 * sinio_ * (3.0 + 5.0 * cosio_) / onep_cosio;
   aycof_ = 0.25 * a3ovk2 * sinio_;
-  delmo_ = std::pow(1.0 + eta_ * std::cos(m0_), 3.0);
+  delmo_ = cube(1.0 + eta_ * std::cos(m0_));
   sinmo_ = std::sin(m0_);
   x7thm1_ = 7.0 * theta2 - 1.0;
 
@@ -142,6 +150,47 @@ Sgp4::Sgp4(const Tle& tle) : epoch_jd_(tle.epoch_jd) {
   }
 }
 
+Sgp4Coefficients Sgp4::coefficients() const noexcept {
+  Sgp4Coefficients c;
+  c.epoch_jd = epoch_jd_;
+  c.e0 = e0_;
+  c.i0 = i0_;
+  c.raan0 = raan0_;
+  c.argp0 = argp0_;
+  c.m0 = m0_;
+  c.bstar = bstar_;
+  c.simple = simple_;
+  c.aodp = aodp_;
+  c.xnodp = xnodp_;
+  c.cosio = cosio_;
+  c.sinio = sinio_;
+  c.x3thm1 = x3thm1_;
+  c.x1mth2 = x1mth2_;
+  c.x7thm1 = x7thm1_;
+  c.eta = eta_;
+  c.c1 = c1_;
+  c.c4 = c4_;
+  c.c5 = c5_;
+  c.d2 = d2_;
+  c.d3 = d3_;
+  c.d4 = d4_;
+  c.xmdot = xmdot_;
+  c.omgdot = omgdot_;
+  c.xnodot = xnodot_;
+  c.xnodcf = xnodcf_;
+  c.omgcof = omgcof_;
+  c.xmcof = xmcof_;
+  c.t2cof = t2cof_;
+  c.t3cof = t3cof_;
+  c.t4cof = t4cof_;
+  c.t5cof = t5cof_;
+  c.xlcof = xlcof_;
+  c.aycof = aycof_;
+  c.delmo = delmo_;
+  c.sinmo = sinmo_;
+  return c;
+}
+
 TemeState Sgp4::at(double tsince) const {
   // --- Secular gravity and atmospheric drag ---
   const double xmdf = m0_ + xmdot_ * tsince;
@@ -157,7 +206,7 @@ TemeState Sgp4::at(double tsince) const {
   if (!simple_) {
     const double delomg = omgcof_ * tsince;
     const double delm =
-        xmcof_ * (std::pow(1.0 + eta_ * std::cos(xmdf), 3.0) - delmo_);
+        xmcof_ * (cube(1.0 + eta_ * std::cos(xmdf)) - delmo_);
     const double temp = delomg + delm;
     xmp = xmdf + temp;
     omega = omgadf - temp;
@@ -173,7 +222,7 @@ TemeState Sgp4::at(double tsince) const {
     throw PropagationError("Sgp4: eccentricity out of range after drag");
   const double e_clamped = std::max(e, 1e-6);
   const double xl = xmp + omega + xnode + xnodp_ * templ;
-  const double xn = kXke / std::pow(a, 1.5);
+  const double xn = kXke / (a * std::sqrt(a));  // a^1.5, a > 0 here
 
   // --- Long period periodics ---
   const double axn = e_clamped * std::cos(omega);

@@ -29,6 +29,23 @@ class PropagationError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Everything the init stage derives from a TLE, exported so the SoA
+/// batch propagator (orbit/sgp4_batch.h) can transpose many satellites
+/// into lane arrays without re-running init. Field names follow the
+/// private members (Spacetrack Report #3 conventions).
+struct Sgp4Coefficients {
+  JulianDate epoch_jd;
+  double e0, i0, raan0, argp0, m0, bstar;
+  bool simple;
+  double aodp, xnodp;
+  double cosio, sinio, x3thm1, x1mth2, x7thm1, eta;
+  double c1, c4, c5;
+  double d2, d3, d4;
+  double xmdot, omgdot, xnodot, xnodcf;
+  double omgcof, xmcof, t2cof, t3cof, t4cof, t5cof;
+  double xlcof, aycof, delmo, sinmo;
+};
+
 /// SGP4 propagator. Construct once per TLE (runs the init stage), then
 /// call at()/at_jd() any number of times; const and thread-compatible.
 class Sgp4 {
@@ -53,6 +70,9 @@ class Sgp4 {
   [[nodiscard]] double semi_major_axis_er() const noexcept { return aodp_; }
   /// Epoch eccentricity (used by the conservative pass-culling bounds).
   [[nodiscard]] double eccentricity() const noexcept { return e0_; }
+
+  /// Snapshot of the init-stage constants for the batch propagator.
+  [[nodiscard]] Sgp4Coefficients coefficients() const noexcept;
 
  private:
   // Epoch elements (radians / rad-per-min).

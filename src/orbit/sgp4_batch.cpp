@@ -1,0 +1,338 @@
+#include "orbit/sgp4_batch.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "orbit/sgp4_constants.h"
+#include "orbit/simd.h"
+
+namespace sinet::orbit {
+
+namespace {
+
+using simd::broadcast;
+using simd::kLanes;
+using simd::select;
+using simd::Vd;
+using simd::Vi;
+
+static_assert(Sgp4Batch::kLaneWidth == simd::kLanes,
+              "Sgp4Batch lane width must match the SIMD vector width");
+
+[[nodiscard]] inline Vd load(const std::vector<double>& v,
+                             std::size_t lane0) noexcept {
+  return Vd{v[lane0], v[lane0 + 1], v[lane0 + 2], v[lane0 + 3]};
+}
+
+// sin/cos of a small correction angle (the short-period periodics are
+// < ~1e-3 rad), 5th/4th-order Maclaurin: absolute error < 1e-22 there.
+inline void small_angle_sincos(Vd d, Vd* s, Vd* c) noexcept {
+  const Vd d2 = d * d;
+  *s = d * (broadcast(1.0) -
+            d2 * broadcast(1.0 / 6.0) * (broadcast(1.0) - d2 * broadcast(0.05)));
+  *c = broadcast(1.0) -
+       d2 * broadcast(0.5) * (broadcast(1.0) - d2 * broadcast(1.0 / 12.0));
+}
+
+struct GroupResult {
+  Vd x, y, z, dist;
+  Vi ok;  // all-ones lanes are physical
+};
+
+// The whole near-earth SGP4 evaluation for one lane group, vectorized.
+// `b` mirrors Sgp4::at() (orbit/sgp4.cpp) term by term — keep the two in
+// sync when touching either. Marked for function multiversioning so the
+// loader picks an AVX2/AVX-512 build on capable hosts.
+SINET_SIMD_TARGET_CLONES
+GroupResult propagate_lanes(std::size_t lane0, JulianDate jd, double gmst,
+                            const std::vector<double>& epoch_jd,
+                            const std::vector<double>& argp0,
+                            const std::vector<double>& m0,
+                            const std::vector<double>& raan0,
+                            const std::vector<double>& e0,
+                            const std::vector<double>& bstar,
+                            const std::vector<double>& aodp,
+                            const std::vector<double>& xnodp,
+                            const std::vector<double>& cosio,
+                            const std::vector<double>& sinio,
+                            const std::vector<double>& x3thm1,
+                            const std::vector<double>& x1mth2,
+                            const std::vector<double>& x7thm1,
+                            const std::vector<double>& eta,
+                            const std::vector<double>& c1,
+                            const std::vector<double>& c4,
+                            const std::vector<double>& c5,
+                            const std::vector<double>& d2,
+                            const std::vector<double>& d3,
+                            const std::vector<double>& d4,
+                            const std::vector<double>& xmdot,
+                            const std::vector<double>& omgdot,
+                            const std::vector<double>& xnodot,
+                            const std::vector<double>& xnodcf,
+                            const std::vector<double>& omgcof,
+                            const std::vector<double>& xmcof,
+                            const std::vector<double>& t2cof,
+                            const std::vector<double>& t3cof,
+                            const std::vector<double>& t4cof,
+                            const std::vector<double>& t5cof,
+                            const std::vector<double>& xlcof,
+                            const std::vector<double>& aycof,
+                            const std::vector<double>& delmo,
+                            const std::vector<double>& sinmo,
+                            const std::vector<double>& nonsimple) {
+  const Vd one = broadcast(1.0);
+
+  const Vd ts =
+      (broadcast(jd) - load(epoch_jd, lane0)) * broadcast(kMinutesPerDay);
+  const Vd ns = load(nonsimple, lane0);
+
+  // --- Secular gravity and atmospheric drag ---
+  const Vd xmdf = load(m0, lane0) + load(xmdot, lane0) * ts;
+  const Vd omgadf = load(argp0, lane0) + load(omgdot, lane0) * ts;
+  const Vd xnoddf = load(raan0, lane0) + load(xnodot, lane0) * ts;
+  const Vd tsq = ts * ts;
+  const Vd xnode = xnoddf + load(xnodcf, lane0) * tsq;
+  Vd tempa = one - load(c1, lane0) * ts;
+  Vd tempe = load(bstar, lane0) * load(c4, lane0) * ts;
+  Vd templ = load(t2cof, lane0) * tsq;
+
+  // Lane-masked `simple_` handling: the low-perigee truncation zeroes
+  // the corrections through `ns` instead of branching, so both element
+  // flavors ride in one group.
+  Vd sin_xmdf, cos_xmdf;
+  simd::vsincos(xmdf, &sin_xmdf, &cos_xmdf);
+  const Vd etacos = one + load(eta, lane0) * cos_xmdf;
+  const Vd delm =
+      load(xmcof, lane0) * (etacos * etacos * etacos - load(delmo, lane0));
+  const Vd corr = ns * (load(omgcof, lane0) * ts + delm);
+  const Vd xmp = xmdf + corr;
+  const Vd omega = omgadf - corr;
+  const Vd tcube = tsq * ts;
+  const Vd tfour = ts * tcube;
+  tempa = tempa - ns * (load(d2, lane0) * tsq + load(d3, lane0) * tcube +
+                        load(d4, lane0) * tfour);
+  Vd sin_xmp, cos_xmp;
+  simd::vsincos(xmp, &sin_xmp, &cos_xmp);
+  tempe = tempe + ns * load(bstar, lane0) * load(c5, lane0) *
+                      (sin_xmp - load(sinmo, lane0));
+  templ = templ + ns * (load(t3cof, lane0) * tcube + load(t4cof, lane0) * tfour +
+                        load(t5cof, lane0) * tfour * ts);
+
+  const Vd a = load(aodp, lane0) * tempa * tempa;
+  const Vd e = load(e0, lane0) - tempe;
+  Vi ok = (e < one) & (e >= broadcast(-0.001)) & (a > broadcast(0.0));
+  const Vd e_clamped = simd::vmax(e, broadcast(1e-6));
+  const Vd xl = xmp + omega + xnode + load(xnodp, lane0) * templ;
+
+  // --- Long period periodics ---
+  Vd sin_omega, cos_omega;
+  simd::vsincos(omega, &sin_omega, &cos_omega);
+  const Vd axn = e_clamped * cos_omega;
+  const Vd beta2 = one - e_clamped * e_clamped;
+  const Vd temp_lp = one / (a * beta2);
+  const Vd xll = temp_lp * load(xlcof, lane0) * axn;
+  const Vd aynl = temp_lp * load(aycof, lane0);
+  const Vd xlt = xl + xll;
+  const Vd ayn = e_clamped * sin_omega + aynl;
+
+  // --- Kepler's equation, all lanes to convergence ---
+  // capu is a 2*pi-shifted representative of the scalar wrap_two_pi
+  // value; the converged anomaly differs by the same multiple, which
+  // cancels in the trig below.
+  const Vd capu = simd::vwrap_pi(xlt - xnode);
+  Vd epw = capu;
+  Vi converged = Vi{0, 0, 0, 0};
+  for (int i = 0; i < 10; ++i) {
+    Vd sinepw, cosepw;
+    simd::vsincos(epw, &sinepw, &cosepw);
+    const Vd t5 = axn * cosepw;
+    const Vd t6 = ayn * sinepw;
+    const Vd next =
+        (capu - ayn * cosepw + axn * sinepw - epw) / (one - t5 - t6) + epw;
+    const Vi newly = simd::vabs(next - epw) <= broadcast(1e-12);
+    epw = select(converged, epw, next);
+    converged |= newly;
+    if (simd::all(converged)) break;
+  }
+  Vd sinepw, cosepw;
+  simd::vsincos(epw, &sinepw, &cosepw);
+  const Vd t3 = axn * sinepw;
+  const Vd t4 = ayn * cosepw;
+  const Vd t5 = axn * cosepw;
+  const Vd t6 = ayn * sinepw;
+
+  // --- Short period preliminary quantities ---
+  const Vd ecose = t5 + t6;
+  const Vd esine = t3 - t4;
+  const Vd elsq = axn * axn + ayn * ayn;
+  const Vd pl = a * (one - elsq);
+  ok &= pl >= broadcast(0.0);
+  const Vd r = a * (one - ecose);
+  const Vd invr = one / r;
+  const Vd temp_sp = a * invr;
+  const Vd betal = simd::vsqrt(one - elsq);
+  const Vd t3inv = one / (one + betal);
+  const Vd cosu = temp_sp * (cosepw - axn + ayn * esine * t3inv);
+  const Vd sinu = temp_sp * (sinepw - ayn - axn * esine * t3inv);
+  // Instead of u = atan2(sinu, cosu) then sin/cos(u - duk), normalize
+  // (sinu, cosu) — they are cos/sin of a true angle up to rounding — and
+  // rotate by the small short-period correction angle directly.
+  const Vd inv_rho = one / simd::vsqrt(sinu * sinu + cosu * cosu);
+  const Vd su = sinu * inv_rho;
+  const Vd cu = cosu * inv_rho;
+  const Vd sin2u = (sinu + sinu) * cosu;
+  const Vd cos2u = (cosu + cosu) * cosu - one;
+  const Vd invpl = one / pl;
+  const Vd tk1 = broadcast(sgp4c::kCk2) * invpl;
+  const Vd tk2 = tk1 * invpl;
+
+  // --- Short period periodics ---
+  const Vd rk =
+      r * (one - broadcast(1.5) * tk2 * betal * load(x3thm1, lane0)) +
+      broadcast(0.5) * tk1 * load(x1mth2, lane0) * cos2u;
+  ok &= rk >= one;
+
+  const Vd duk = broadcast(0.25) * tk2 * load(x7thm1, lane0) * sin2u;
+  Vd sin_duk, cos_duk;
+  small_angle_sincos(duk, &sin_duk, &cos_duk);
+  const Vd sinuk = su * cos_duk - cu * sin_duk;
+  const Vd cosuk = cu * cos_duk + su * sin_duk;
+
+  const Vd dnod = broadcast(1.5) * tk2 * load(cosio, lane0) * sin2u;
+  Vd sin_dnod, cos_dnod;
+  small_angle_sincos(dnod, &sin_dnod, &cos_dnod);
+  Vd sinnok, cosnok;
+  {
+    Vd snod, cnod;
+    simd::vsincos(xnode, &snod, &cnod);
+    sinnok = snod * cos_dnod + cnod * sin_dnod;
+    cosnok = cnod * cos_dnod - snod * sin_dnod;
+  }
+
+  const Vd dinc =
+      broadcast(1.5) * tk2 * load(cosio, lane0) * load(sinio, lane0) * cos2u;
+  Vd sin_dinc, cos_dinc;
+  small_angle_sincos(dinc, &sin_dinc, &cos_dinc);
+  const Vd sinik = load(sinio, lane0) * cos_dinc + load(cosio, lane0) * sin_dinc;
+  const Vd cosik = load(cosio, lane0) * cos_dinc - load(sinio, lane0) * sin_dinc;
+
+  // --- Orientation vector and final ECEF state ---
+  const Vd xmx = -sinnok * cosik;
+  const Vd xmy = cosnok * cosik;
+  const Vd scale = rk * broadcast(sgp4c::kXkmper);
+  const Vd px = (xmx * sinuk + cosnok * cosuk) * scale;
+  const Vd py = (xmy * sinuk + sinnok * cosuk) * scale;
+  const Vd pz = sinik * sinuk * scale;
+
+  // Batched TEME->ECEF: rotate by the shared per-step GMST.
+  const Vd cg = broadcast(std::cos(gmst));
+  const Vd sg = broadcast(std::sin(gmst));
+  GroupResult out;
+  out.x = cg * px + sg * py;
+  out.y = cg * py - sg * px;
+  out.z = pz;
+  out.dist = simd::vsqrt(out.x * out.x + out.y * out.y + out.z * out.z);
+  ok &= out.dist == out.dist;  // NaN screen for anything the above missed
+  out.ok = ok;
+  return out;
+}
+
+inline void fill(std::vector<double>& v, std::size_t i,
+                 double value) noexcept {
+  v[i] = value;
+}
+
+}  // namespace
+
+Sgp4Batch::Sgp4Batch(const std::vector<const Sgp4*>& satellites) {
+  if (satellites.empty())
+    throw std::invalid_argument("Sgp4Batch: empty satellite set");
+  for (const Sgp4* s : satellites)
+    if (s == nullptr)
+      throw std::invalid_argument("Sgp4Batch: null propagator");
+
+  n_ = satellites.size();
+  pad_n_ = (n_ + kLaneWidth - 1) / kLaneWidth * kLaneWidth;
+
+  const auto alloc = [&](std::vector<double>& v) { v.resize(pad_n_); };
+  for (std::vector<double>* v :
+       {&epoch_jd_, &argp0_, &m0_, &raan0_, &e0_, &bstar_, &aodp_, &xnodp_,
+        &cosio_, &sinio_, &x3thm1_, &x1mth2_, &x7thm1_, &eta_, &c1_, &c4_,
+        &c5_, &d2_, &d3_, &d4_, &xmdot_, &omgdot_, &xnodot_, &xnodcf_,
+        &omgcof_, &xmcof_, &t2cof_, &t3cof_, &t4cof_, &t5cof_, &xlcof_,
+        &aycof_, &delmo_, &sinmo_, &nonsimple_})
+    alloc(*v);
+
+  for (std::size_t i = 0; i < pad_n_; ++i) {
+    // Pad lanes replicate the group's first member so their arithmetic
+    // stays finite; their status is never reported.
+    const std::size_t src = i < n_ ? i : i / kLaneWidth * kLaneWidth;
+    const Sgp4Coefficients c = satellites[src]->coefficients();
+    fill(epoch_jd_, i, c.epoch_jd);
+    fill(argp0_, i, c.argp0);
+    fill(m0_, i, c.m0);
+    fill(raan0_, i, c.raan0);
+    fill(e0_, i, c.e0);
+    fill(bstar_, i, c.bstar);
+    fill(aodp_, i, c.aodp);
+    fill(xnodp_, i, c.xnodp);
+    fill(cosio_, i, c.cosio);
+    fill(sinio_, i, c.sinio);
+    fill(x3thm1_, i, c.x3thm1);
+    fill(x1mth2_, i, c.x1mth2);
+    fill(x7thm1_, i, c.x7thm1);
+    fill(eta_, i, c.eta);
+    fill(c1_, i, c.c1);
+    fill(c4_, i, c.c4);
+    fill(c5_, i, c.c5);
+    fill(d2_, i, c.d2);
+    fill(d3_, i, c.d3);
+    fill(d4_, i, c.d4);
+    fill(xmdot_, i, c.xmdot);
+    fill(omgdot_, i, c.omgdot);
+    fill(xnodot_, i, c.xnodot);
+    fill(xnodcf_, i, c.xnodcf);
+    fill(omgcof_, i, c.omgcof);
+    fill(xmcof_, i, c.xmcof);
+    fill(t2cof_, i, c.t2cof);
+    fill(t3cof_, i, c.t3cof);
+    fill(t4cof_, i, c.t4cof);
+    fill(t5cof_, i, c.t5cof);
+    fill(xlcof_, i, c.xlcof);
+    fill(aycof_, i, c.aycof);
+    fill(delmo_, i, c.delmo);
+    fill(sinmo_, i, c.sinmo);
+    fill(nonsimple_, i, c.simple ? 0.0 : 1.0);
+  }
+}
+
+bool Sgp4Batch::propagate_group_ecef(std::size_t group, JulianDate jd,
+                                     double gmst, double* x_km, double* y_km,
+                                     double* z_km, double* dist_km,
+                                     LaneStatus* status) const {
+  const std::size_t lane0 = group * kLaneWidth;
+  const GroupResult res = propagate_lanes(
+      lane0, jd, gmst, epoch_jd_, argp0_, m0_, raan0_, e0_, bstar_,
+      aodp_, xnodp_, cosio_, sinio_, x3thm1_, x1mth2_, x7thm1_, eta_, c1_,
+      c4_, c5_, d2_, d3_, d4_, xmdot_, omgdot_, xnodot_, xnodcf_, omgcof_,
+      xmcof_, t2cof_, t3cof_, t4cof_, t5cof_, xlcof_, aycof_, delmo_, sinmo_,
+      nonsimple_);
+
+  const std::size_t members = group_members(group);
+  bool all_ok = true;
+  for (std::size_t l = 0; l < members; ++l) {
+    x_km[l] = res.x[l];
+    y_km[l] = res.y[l];
+    z_km[l] = res.z[l];
+    dist_km[l] = res.dist[l];
+    if (res.ok[l] != 0) {
+      status[l] = LaneStatus::kOk;
+    } else {
+      status[l] = LaneStatus::kError;
+      all_ok = false;
+    }
+  }
+  return all_ok;
+}
+
+}  // namespace sinet::orbit

@@ -1,0 +1,94 @@
+// Struct-of-arrays SGP4: propagate 4 satellites per lane group with
+// explicit-width SIMD (orbit/simd.h).
+//
+// The shared-ephemeris engine (orbit/ephemeris.h) spends almost all of
+// its post-culling time in scalar Sgp4::at() — one call per satellite
+// per coarse step. This propagator transposes the init-stage constants
+// of many satellites into lane arrays once, then evaluates the full
+// near-earth SGP4 model for a whole lane group per call, including the
+// TEME->ECEF rotation from a caller-supplied (once-per-step) GMST.
+//
+// Numerics: this is the PropagationMode::kFast path. It follows the
+// scalar code's operation order but
+//   - uses the polynomial vsincos kernels instead of libm sin/cos,
+//   - replaces atan2(sinu, cosu) + sin/cos(uk/xnodek/xinck) with a
+//     normalization plus small-angle rotations (the short-period
+//     corrections are < 1e-3 rad),
+//   - runs the Kepler iteration to convergence of all lanes instead of
+//     per-lane early exit.
+// Positions agree with the scalar propagator to < 1e-6 km over 30-day
+// spans (asserted by tests/test_sgp4_batch.cpp); see the fast-mode
+// tolerance table in docs/PERFORMANCE.md.
+//
+// Branch handling: the `simple_` (perigee < 220 km) drag truncation is
+// lane-masked — both element-set flavors coexist in one group. Lanes
+// whose elements go non-physical mid-propagation (the conditions where
+// scalar Sgp4::at() throws PropagationError) are reported per lane via
+// LaneStatus; callers re-run failed lanes through the scalar propagator
+// to surface the typed error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "orbit/sgp4.h"
+#include "orbit/time.h"
+
+namespace sinet::orbit {
+
+/// Per-lane outcome of a batched propagation.
+enum class LaneStatus : std::uint8_t {
+  kOk = 0,
+  kError = 1,  ///< scalar Sgp4::at() would throw PropagationError here
+};
+
+class Sgp4Batch {
+ public:
+  /// Lanes per group; groups() = ceil(size / kLaneWidth). The last group
+  /// is padded internally with copies of its first member, so remainder
+  /// counts need no caller-side handling.
+  static constexpr std::size_t kLaneWidth = 4;
+
+  /// Transpose the propagators' init-stage constants into SoA lane
+  /// arrays. The Sgp4 objects are only read during construction; they
+  /// need not outlive the batch. Throws std::invalid_argument on an
+  /// empty set or a null pointer.
+  explicit Sgp4Batch(const std::vector<const Sgp4*>& satellites);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t groups() const noexcept {
+    return pad_n_ / kLaneWidth;
+  }
+  /// Number of real (non-pad) members of `group`.
+  [[nodiscard]] std::size_t group_members(std::size_t group) const noexcept {
+    const std::size_t begin = group * kLaneWidth;
+    return n_ - begin < kLaneWidth ? n_ - begin : kLaneWidth;
+  }
+
+  /// Propagate lane group `group` to UTC Julian date `jd` and rotate the
+  /// positions into ECEF with the caller-supplied GMST (evaluate
+  /// gmst_rad(jd) once per step and share it across every group).
+  /// Writes group_members(group) entries of ECEF x/y/z (km), geocentric
+  /// distance (km), and per-lane status. Returns true when every real
+  /// lane is kOk.
+  bool propagate_group_ecef(std::size_t group, JulianDate jd, double gmst,
+                            double* x_km, double* y_km, double* z_km,
+                            double* dist_km, LaneStatus* status) const;
+
+ private:
+  std::size_t n_ = 0;      ///< real satellite count
+  std::size_t pad_n_ = 0;  ///< n_ rounded up to a kLaneWidth multiple
+
+  // One padded lane array per init-stage constant (see Sgp4Coefficients).
+  std::vector<double> epoch_jd_, argp0_, m0_, raan0_, e0_, bstar_;
+  std::vector<double> aodp_, xnodp_;
+  std::vector<double> cosio_, sinio_, x3thm1_, x1mth2_, x7thm1_, eta_;
+  std::vector<double> c1_, c4_, c5_, d2_, d3_, d4_;
+  std::vector<double> xmdot_, omgdot_, xnodot_, xnodcf_;
+  std::vector<double> omgcof_, xmcof_, t2cof_, t3cof_, t4cof_, t5cof_;
+  std::vector<double> xlcof_, aycof_, delmo_, sinmo_;
+  std::vector<double> nonsimple_;  ///< 1.0 for full drag model, 0.0 simple
+};
+
+}  // namespace sinet::orbit

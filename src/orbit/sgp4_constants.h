@@ -1,0 +1,20 @@
+// WGS-72 gravitational constants in the SGP4/TLE convention, shared by
+// the scalar propagator (orbit/sgp4.cpp) and the SoA batch propagator
+// (orbit/sgp4_batch.cpp) so the two cannot drift. Values per Spacetrack
+// Report #3 / Vallado 2006.
+#pragma once
+
+namespace sinet::orbit::sgp4c {
+
+inline constexpr double kXke = 0.0743669161;      // sqrt(mu) in (er/min)^(3/2)
+inline constexpr double kXkmper = 6378.135;       // earth radius, km
+inline constexpr double kJ2 = 1.082616e-3;
+inline constexpr double kJ3 = -2.53881e-6;
+inline constexpr double kJ4 = -1.65597e-6;
+inline constexpr double kCk2 = 0.5 * kJ2;         // ae = 1
+inline constexpr double kCk4 = -0.375 * kJ4;
+inline constexpr double kQoms2t = 1.88027916e-9;  // ((q0 - s)*ae)^4
+inline constexpr double kS = 1.01222928;          // s = ae + 78/xkmper
+inline constexpr double kAe = 1.0;
+
+}  // namespace sinet::orbit::sgp4c

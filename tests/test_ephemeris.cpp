@@ -537,6 +537,291 @@ TEST(ContactWindowCache, SingleFlightDedupsConcurrentMisses) {
       r1, orbit::predict_passes(Sgp4(tle), site, jd0, jd1), "vs legacy");
 }
 
+// ---------------------------------------------------------------------
+// PropagationMode::kFast — the SoA/SIMD batch kernels. kFast windows are
+// NOT bit-identical to kReference: the fused visibility test classifies
+// coarse samples in the sine domain, so a sample graze within ~1 ulp of
+// the mask can shift a refinement bracket by one coarse step. The
+// contract (docs/PERFORMANCE.md) is: same window count, AOS/LOS/TCA
+// within one coarse step, max elevation within 1e-6 deg.
+// ---------------------------------------------------------------------
+
+void expect_within_fast_tolerance(const std::vector<ContactWindow>& fast,
+                                  const std::vector<ContactWindow>& ref,
+                                  double coarse_step_s,
+                                  const std::string& label) {
+  ASSERT_EQ(fast.size(), ref.size()) << label;
+  const double edge_tol_days = coarse_step_s / orbit::kSecondsPerDay;
+  for (std::size_t w = 0; w < fast.size(); ++w) {
+    EXPECT_NEAR(fast[w].aos_jd, ref[w].aos_jd, edge_tol_days)
+        << label << " window " << w;
+    EXPECT_NEAR(fast[w].los_jd, ref[w].los_jd, edge_tol_days)
+        << label << " window " << w;
+    EXPECT_NEAR(fast[w].tca_jd, ref[w].tca_jd, edge_tol_days)
+        << label << " window " << w;
+    EXPECT_NEAR(fast[w].max_elevation_deg, ref[w].max_elevation_deg, 1e-6)
+        << label << " window " << w;
+  }
+}
+
+// Run the same pair set through both modes and compare under tolerance.
+void expect_modes_agree(const std::vector<const Sgp4*>& sats,
+                        const std::vector<GridObserver>& observers,
+                        JulianDate jd0, JulianDate jd1,
+                        const PassPredictionOptions& opts,
+                        const std::string& label) {
+  std::vector<orbit::PairTask> pairs;
+  for (std::size_t s = 0; s < sats.size(); ++s)
+    for (std::size_t o = 0; o < observers.size(); ++o)
+      pairs.push_back(orbit::PairTask{s, o});
+
+  orbit::EphemerisScanOptions ref_opts;
+  ref_opts.mode = orbit::PropagationMode::kReference;
+  orbit::EphemerisScanOptions fast_opts;
+  fast_opts.mode = orbit::PropagationMode::kFast;
+
+  const auto ref = orbit::scan_pass_pairs(sats, observers, pairs, jd0, jd1,
+                                          opts, ref_opts, /*threads=*/1);
+  const auto fast = orbit::scan_pass_pairs(sats, observers, pairs, jd0, jd1,
+                                           opts, fast_opts, /*threads=*/1);
+  ASSERT_EQ(fast.size(), ref.size()) << label;
+  for (std::size_t p = 0; p < pairs.size(); ++p)
+    expect_within_fast_tolerance(fast[p], ref[p], opts.coarse_step_s,
+                                 label + " pair " + std::to_string(p));
+}
+
+// The fast-mode acceptance sweep: the same 200-TLE x 8-site corpus the
+// bit-identical reference sweep uses, scanned in both modes.
+TEST(FastModeParity, WindowsWithinToleranceAcrossBandsAndSites) {
+  const auto sites = core::paper_measurement_sites();
+  ASSERT_EQ(sites.size(), 8u);
+  static constexpr double kMasks[] = {0.0, 5.0, 10.0, 25.0};
+
+  std::mt19937_64 rng(20260805u);  // same corpus as the reference sweep
+  std::uniform_real_distribution<double> start_offset(0.0, 1.0);
+  std::uniform_real_distribution<double> span_days(0.35, 0.75);
+
+  constexpr int kGroups = 8;
+  constexpr int kTlesPerGroup = 25;  // 200 TLEs total
+  for (int g = 0; g < kGroups; ++g) {
+    std::vector<Tle> tles;
+    std::vector<Sgp4> props;
+    for (int i = 0; i < kTlesPerGroup; ++i) {
+      tles.push_back(random_tle(rng, g * kTlesPerGroup + i));
+      props.emplace_back(tles.back());
+    }
+    std::vector<const Sgp4*> sat_ptrs;
+    for (const Sgp4& p : props) sat_ptrs.push_back(&p);
+
+    std::vector<GridObserver> observers;
+    for (std::size_t o = 0; o < sites.size(); ++o)
+      observers.push_back(GridObserver{sites[o].location, kMasks[o % 4]});
+
+    const JulianDate jd0 = core::campaign_epoch_jd() + start_offset(rng);
+    const JulianDate jd1 = jd0 + span_days(rng);
+    PassPredictionOptions opts;
+    opts.coarse_step_s = 60.0;
+    expect_modes_agree(sat_ptrs, observers, jd0, jd1, opts,
+                       "group " + std::to_string(g));
+  }
+}
+
+// Satellite counts that leave partial lane groups in the batch
+// propagator, and observer counts that leave partial lanes in the fused
+// visibility blocks, must all agree with the reference scan.
+TEST(FastModeParity, LaneRemaindersAcrossSatelliteAndObserverCounts) {
+  const auto sites = core::paper_measurement_sites();
+  std::mt19937_64 rng(77);
+  std::vector<Tle> tles;
+  std::vector<Sgp4> props;
+  for (int i = 0; i < 7; ++i) {  // 7 = one full lane group + 3 remainder
+    tles.push_back(random_tle(rng, i * 13 + 1));
+    props.emplace_back(tles.back());
+  }
+  const JulianDate jd0 = core::campaign_epoch_jd();
+  const JulianDate jd1 = jd0 + 0.4;
+  PassPredictionOptions opts;
+  opts.coarse_step_s = 60.0;
+
+  for (const std::size_t n_sats : {1u, 2u, 3u, 5u, 7u}) {
+    for (const std::size_t n_obs : {1u, 3u, 5u}) {
+      std::vector<const Sgp4*> sat_ptrs;
+      for (std::size_t s = 0; s < n_sats; ++s) sat_ptrs.push_back(&props[s]);
+      std::vector<GridObserver> observers;
+      for (std::size_t o = 0; o < n_obs; ++o)
+        observers.push_back(
+            GridObserver{sites[o % sites.size()].location, 5.0});
+      expect_modes_agree(sat_ptrs, observers, jd0, jd1, opts,
+                         "sats " + std::to_string(n_sats) + " obs " +
+                             std::to_string(n_obs));
+    }
+  }
+}
+
+// A very low perigee activates SGP4's `simple` drag truncation; mixing
+// such a satellite into a lane group with normal satellites exercises
+// the lane-masked branch of the batch propagator inside a real scan.
+TEST(FastModeParity, MixedSimpleAndNormalBranchesInOneScan) {
+  std::mt19937_64 rng(123);
+  std::vector<Tle> tles;
+  std::vector<Sgp4> props;
+  for (int i = 0; i < 3; ++i) {
+    tles.push_back(random_tle(rng, i * 29 + 2));
+    props.emplace_back(tles.back());
+  }
+  orbit::KeplerianElements low;  // perigee < 220 km -> simple branch
+  low.altitude_km = 200.0;
+  low.eccentricity = 0.0005;
+  low.inclination_deg = 53.0;
+  low.bstar = 1e-5;
+  tles.push_back(
+      orbit::make_tle("SIMPLE", 90044, low, core::campaign_epoch_jd()));
+  props.emplace_back(tles.back());
+  ASSERT_TRUE(props.back().coefficients().simple);
+  ASSERT_FALSE(props.front().coefficients().simple);
+
+  std::vector<const Sgp4*> sat_ptrs;
+  for (const Sgp4& p : props) sat_ptrs.push_back(&p);
+  const std::vector<GridObserver> observers{
+      GridObserver{Geodetic{22.3, 114.2, 0.05}},
+      GridObserver{Geodetic{51.5, -0.13, 0.035}, 10.0}};
+  PassPredictionOptions opts;
+  opts.coarse_step_s = 30.0;
+  const JulianDate jd0 = core::campaign_epoch_jd();
+  expect_modes_agree(sat_ptrs, observers, jd0, jd0 + 0.3, opts, "mixed");
+}
+
+// Chunked fast scans must agree with unchunked ones (block skip state
+// crosses chunk boundaries), and sample conservation must hold lane by
+// lane: every pair visits-or-culls every grid sample exactly once.
+TEST(FastModeParity, ChunkingAndSampleConservation) {
+  std::mt19937_64 rng(55);
+  std::vector<Tle> tles;
+  std::vector<Sgp4> props;
+  for (int i = 0; i < 5; ++i) {
+    tles.push_back(random_tle(rng, i * 17 + 4));
+    props.emplace_back(tles.back());
+  }
+  std::vector<const Sgp4*> sat_ptrs;
+  for (const Sgp4& p : props) sat_ptrs.push_back(&p);
+  const std::vector<GridObserver> observers{
+      GridObserver{Geodetic{22.3, 114.2, 0.05}},
+      GridObserver{Geodetic{-33.87, 151.2, 0.02}, 10.0},
+      GridObserver{Geodetic{60.17, 24.94, 0.0}, 5.0}};
+  std::vector<orbit::PairTask> pairs;
+  for (std::size_t s = 0; s < props.size(); ++s)
+    for (std::size_t o = 0; o < observers.size(); ++o)
+      pairs.push_back(orbit::PairTask{s, o});
+  const JulianDate jd0 = core::campaign_epoch_jd();
+  const JulianDate jd1 = jd0 + 1.0;
+  PassPredictionOptions opts;
+  opts.coarse_step_s = 30.0;
+
+  orbit::EphemerisScanOptions fast_small;
+  fast_small.mode = orbit::PropagationMode::kFast;
+  fast_small.chunk_samples = 64;
+  obs::MetricsRegistry metrics;
+  const auto chunked =
+      orbit::scan_pass_pairs(sat_ptrs, observers, pairs, jd0, jd1, opts,
+                             fast_small, /*threads=*/1, &metrics);
+
+  const orbit::ScanGrid grid(jd0, jd1, opts.coarse_step_s);
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("orbit.ephemeris.samples_visited") +
+                snap.counters.at("orbit.ephemeris.samples_culled"),
+            pairs.size() * grid.size());
+
+  orbit::EphemerisScanOptions fast_default;
+  fast_default.mode = orbit::PropagationMode::kFast;
+  const auto unchunked = orbit::scan_pass_pairs(
+      sat_ptrs, observers, pairs, jd0, jd1, opts, fast_default,
+      /*threads=*/1);
+  ASSERT_EQ(chunked.size(), unchunked.size());
+  for (std::size_t p = 0; p < pairs.size(); ++p)
+    expect_bit_identical(chunked[p], unchunked[p],
+                         "chunked pair " + std::to_string(p));
+
+  // Multi-threaded fast scan: blocks are disjoint over pairs, so the
+  // pooled scan is bit-identical to the serial fast scan.
+  const auto pooled = orbit::scan_pass_pairs(sat_ptrs, observers, pairs,
+                                             jd0, jd1, opts, fast_default,
+                                             /*threads=*/4);
+  for (std::size_t p = 0; p < pairs.size(); ++p)
+    expect_bit_identical(pooled[p], unchunked[p],
+                         "pooled pair " + std::to_string(p));
+}
+
+TEST(FastModeParity, SimdCountersAndModeGauge) {
+  std::mt19937_64 rng(61);
+  std::vector<Tle> tles;
+  std::vector<Sgp4> props;
+  for (int i = 0; i < 6; ++i) {
+    tles.push_back(random_tle(rng, i * 3));
+    props.emplace_back(tles.back());
+  }
+  std::vector<const Sgp4*> sat_ptrs;
+  for (const Sgp4& p : props) sat_ptrs.push_back(&p);
+  const std::vector<GridObserver> observers{
+      GridObserver{Geodetic{22.3, 114.2, 0.05}}};
+  std::vector<orbit::PairTask> pairs;
+  for (std::size_t s = 0; s < props.size(); ++s)
+    pairs.push_back(orbit::PairTask{s, 0});
+  const JulianDate jd0 = core::campaign_epoch_jd();
+  const JulianDate jd1 = jd0 + 0.3;
+  PassPredictionOptions opts;
+  opts.coarse_step_s = 60.0;
+
+  orbit::EphemerisScanOptions fast_opts;
+  fast_opts.mode = orbit::PropagationMode::kFast;
+  obs::MetricsRegistry fast_metrics;
+  (void)orbit::scan_pass_pairs(sat_ptrs, observers, pairs, jd0, jd1, opts,
+                               fast_opts, /*threads=*/1, &fast_metrics);
+  const auto fast_snap = fast_metrics.snapshot();
+  EXPECT_EQ(fast_snap.gauges.at("orbit.simd.mode").value, 1.0);
+  EXPECT_GT(fast_snap.counters.at("orbit.simd.lanes_filled"),
+            static_cast<std::uint64_t>(0));
+  // Healthy TLEs never fall back to the scalar propagator.
+  EXPECT_EQ(fast_snap.counters.at("orbit.simd.scalar_fallbacks"),
+            static_cast<std::uint64_t>(0));
+
+  // Pin the mode instead of passing {}: the default tracks the global,
+  // and this suite must pass under SINET_PROPAGATION_MODE=fast too.
+  orbit::EphemerisScanOptions ref_opts;
+  ref_opts.mode = orbit::PropagationMode::kReference;
+  obs::MetricsRegistry ref_metrics;
+  (void)orbit::scan_pass_pairs(sat_ptrs, observers, pairs, jd0, jd1, opts,
+                               ref_opts, /*threads=*/1, &ref_metrics);
+  const auto ref_snap = ref_metrics.snapshot();
+  EXPECT_EQ(ref_snap.gauges.at("orbit.simd.mode").value, 0.0);
+  EXPECT_EQ(ref_snap.counters.count("orbit.simd.lanes_filled"), 0u);
+}
+
+TEST(PropagationMode, ParseSetAndDefaultPlumbing) {
+  using orbit::PropagationMode;
+  EXPECT_EQ(orbit::parse_propagation_mode("reference"),
+            PropagationMode::kReference);
+  EXPECT_EQ(orbit::parse_propagation_mode("scalar"),
+            PropagationMode::kReference);
+  EXPECT_EQ(orbit::parse_propagation_mode("fast"), PropagationMode::kFast);
+  EXPECT_EQ(orbit::parse_propagation_mode("simd"), PropagationMode::kFast);
+  EXPECT_THROW((void)orbit::parse_propagation_mode("turbo"),
+               std::invalid_argument);
+
+  EXPECT_STREQ(orbit::propagation_mode_name(PropagationMode::kReference),
+               "reference");
+  EXPECT_STREQ(orbit::propagation_mode_name(PropagationMode::kFast), "fast");
+
+  // The global default threads into freshly constructed scan options.
+  const PropagationMode before = orbit::propagation_mode();
+  orbit::set_propagation_mode(PropagationMode::kFast);
+  EXPECT_EQ(orbit::propagation_mode(), PropagationMode::kFast);
+  EXPECT_EQ(orbit::EphemerisScanOptions{}.mode, PropagationMode::kFast);
+  orbit::set_propagation_mode(PropagationMode::kReference);
+  EXPECT_EQ(orbit::EphemerisScanOptions{}.mode,
+            PropagationMode::kReference);
+  orbit::set_propagation_mode(before);
+}
+
 TEST(ContactWindowCache, PropagatesComputationErrors) {
   std::mt19937_64 rng(31);
   const Tle tle = random_tle(rng, 4);

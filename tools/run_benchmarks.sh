@@ -60,17 +60,24 @@ done
 
 # Instrumented reference run: one day of the active experiment with a
 # metrics registry attached, so the report captures every layer (event
-# queue, thread pool, pass cache, net.dts campaign counters).
+# queue, thread pool, pass cache, net.dts campaign counters). A second
+# run under --propagation-mode fast records the same workload on the
+# SoA/SIMD kernels (orbit.simd.* counters included when pass scans run).
 sinet_cli="$build_dir/examples/sinet"
 if [[ -x "$sinet_cli" ]]; then
   echo "== run report (sinet --metrics, active 1)"
   "$sinet_cli" --metrics "$out_dir/run_report.json" active 1 > /dev/null
+  echo "== run report (sinet --metrics --propagation-mode fast, active 1)"
+  "$sinet_cli" --metrics "$out_dir/run_report_fast.json" \
+               --propagation-mode fast active 1 > /dev/null
 else
   echo "note: $sinet_cli not built; skipping run report" >&2
 fi
 
 # Merge: { "<bench binary>": <google-benchmark JSON>, ...,
-#          "run_report": <sinet.run_report.v1 JSON> }
+#          "run_report": <sinet.run_report.v1 JSON>,
+#          "run_report_fast": <the same under PropagationMode::kFast>,
+#          "ephemeris_ablation": <campaign-scan arm table incl. simd> }
 python3 - "$out_dir" "$repo_root/BENCH_RESULTS.json" <<'PY'
 import json, pathlib, sys
 
@@ -79,10 +86,30 @@ merged = {}
 for f in sorted(out_dir.glob("bench_*.json")):
     with open(f) as fh:
         merged[f.stem] = json.load(fh)
-report = out_dir / "run_report.json"
-if report.exists():
-    with open(report) as fh:
-        merged["run_report"] = json.load(fh)
+for key, name in (("run_report", "run_report.json"),
+                  ("run_report_fast", "run_report_fast.json")):
+    report = out_dir / name
+    if report.exists():
+        with open(report) as fh:
+            merged[key] = json.load(fh)
+
+# Distill the 30-day campaign-scan ablation (legacy / shared / culled /
+# simd) into one flat column set so the perf trajectory diffs cleanly.
+ablation = merged.get("bench_ablation_ephemeris", {})
+arms = {}
+for row in ablation.get("benchmarks", []):
+    name = row.get("name", "")
+    if name.startswith("BM_CampaignScan_"):
+        arm = name[len("BM_CampaignScan_"):].split("/")[0]
+        arms[arm] = row.get("real_time")
+if arms:
+    legacy = arms.get("Legacy")
+    summary = {"wall_ms": arms}
+    if legacy:
+        summary["speedup_vs_legacy"] = {
+            arm: round(legacy / ms, 2) for arm, ms in arms.items() if ms}
+    merged["ephemeris_ablation"] = summary
+
 with open(merged_path, "w") as fh:
     json.dump(merged, fh, indent=1, sort_keys=True)
     fh.write("\n")
