@@ -9,13 +9,20 @@
 //                                                      TLE catalog file
 //   sinet sweep <spec.json> <report.json>              Monte-Carlo sweep
 //                                                      (docs/SWEEPS.md)
+//   sinet validate <scenario> <out.json>               cross-simulator
+//                                                      validation report
+//                                                      (docs/VALIDATION.md)
 //
 // Thin argument handling on purpose: each subcommand is three or four
 // calls into the public API, mirroring what downstream users would write.
+#include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,6 +38,7 @@
 #include "orbit/ephemeris.h"
 #include "orbit/tle_catalog.h"
 #include "trace/csv.h"
+#include "val/validate.h"
 
 using namespace sinet;
 using namespace sinet::core;
@@ -40,6 +48,41 @@ namespace {
 // Run-metrics sink for the current invocation; null unless --metrics was
 // given. Subcommands thread it into the driver configs.
 obs::MetricsRegistry* g_metrics = nullptr;
+
+/// A numeric argument that did not parse. main() prints the message and
+/// the usage text and exits 2 — never runs an experiment on garbage.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// std::atoi / std::atof silently map unparsable text to 0, which turns a
+// typo like `sinet active 3O` (letter O) into a zero-day run that
+// "succeeds" with bogus numbers. These helpers accept a full numeric
+// token (leading/trailing whitespace allowed, nothing else) or throw.
+double parse_double_arg(const char* text, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  while (end != nullptr && std::isspace(static_cast<unsigned char>(*end)))
+    ++end;
+  if (end == text || end == nullptr || *end != '\0' || errno == ERANGE)
+    throw UsageError(std::string(what) + ": expected a number, got '" +
+                     text + "'");
+  return value;
+}
+
+int parse_int_arg(const char* text, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  while (end != nullptr && std::isspace(static_cast<unsigned char>(*end)))
+    ++end;
+  if (end == text || end == nullptr || *end != '\0' || errno == ERANGE ||
+      value < INT_MIN || value > INT_MAX)
+    throw UsageError(std::string(what) + ": expected an integer, got '" +
+                     text + "'");
+  return static_cast<int>(value);
+}
 
 int usage() {
   std::fprintf(
@@ -55,6 +98,8 @@ int usage() {
       "  sinet tle <file.tle> <lat> <lon>\n"
       "  sinet sweep <spec.json> <report.json> [--threads N]\n"
       "              [--max-points N] [--fresh]\n"
+      "  sinet validate <scenario> <out.json> [--baselines <file>]\n"
+      "                 [--threads N]\n"
       "\n"
       "  --metrics <out.json>  write a structured run report (event-queue,\n"
       "                        thread-pool, pass-cache and campaign\n"
@@ -71,7 +116,12 @@ int usage() {
       "  (see docs/SWEEPS.md), checkpointing each completed point to\n"
       "  <report.json>.manifest; re-running the same command resumes an\n"
       "  interrupted sweep. --max-points stops after N new points,\n"
-      "  --fresh discards an existing manifest.\n");
+      "  --fresh discards an existing manifest.\n"
+      "\n"
+      "  validate runs the cross-simulator scenario ('reference' or\n"
+      "  'quick'), writes a sinet.validation.v1 report to <out.json> and,\n"
+      "  with --baselines, gates the divergence scores against the\n"
+      "  committed thresholds (exit 1 on regression; docs/VALIDATION.md).\n");
   return 2;
 }
 
@@ -103,9 +153,11 @@ void print_passes(const std::vector<orbit::Tle>& catalog,
 
 int cmd_passes(int argc, char** argv) {
   if (argc < 4) return usage();
-  const orbit::Geodetic where{std::atof(argv[2]), std::atof(argv[3]), 0.0};
+  const orbit::Geodetic where{parse_double_arg(argv[2], "latitude"),
+                              parse_double_arg(argv[3], "longitude"), 0.0};
   const std::string name = argc > 4 ? argv[4] : "Tianqi";
-  const double hours = argc > 5 ? std::atof(argv[5]) : 24.0;
+  const double hours =
+      argc > 5 ? parse_double_arg(argv[5], "hours") : 24.0;
   const auto spec = orbit::paper_constellation(name);
   print_passes(orbit::generate_tles(spec, campaign_epoch_jd()), where,
                hours);
@@ -117,7 +169,7 @@ int cmd_availability(int argc, char** argv) {
   MeasurementSite site;
   site.code = "CLI";
   site.city = "cli";
-  site.location = {std::atof(argv[2]), 114.0, 0.0};
+  site.location = {parse_double_arg(argv[2], "latitude"), 114.0, 0.0};
   AvailabilityOptions opts;
   opts.duration_days = 2.0;
   opts.metrics = g_metrics;
@@ -133,7 +185,8 @@ int cmd_availability(int argc, char** argv) {
 
 int cmd_campaign(int argc, char** argv) {
   if (argc < 5) return usage();
-  PassiveCampaignConfig cfg = default_campaign(std::atof(argv[3]));
+  PassiveCampaignConfig cfg =
+      default_campaign(parse_double_arg(argv[3], "days"));
   cfg.metrics = g_metrics;
   if (std::strcmp(argv[2], "all") != 0) cfg.sites = {paper_site(argv[2])};
   const PassiveCampaignResult res = run_passive_campaign(cfg);
@@ -154,7 +207,7 @@ int cmd_campaign(int argc, char** argv) {
 int cmd_active(int argc, char** argv) {
   if (argc < 3) return usage();
   ActiveExperimentKnobs knobs;
-  knobs.duration_days = std::atof(argv[2]);
+  knobs.duration_days = parse_double_arg(argv[2], "days");
   knobs.metrics = g_metrics;
   const ActiveComparison cmp = run_active_comparison(knobs);
   const auto rel =
@@ -172,8 +225,8 @@ int cmd_active(int argc, char** argv) {
 int cmd_cost(int argc, char** argv) {
   if (argc < 4) return usage();
   cost::Workload w;
-  w.sensor_count = std::atoi(argv[2]);
-  const int gateways = std::atoi(argv[3]);
+  w.sensor_count = parse_int_arg(argv[2], "sensors");
+  const int gateways = parse_int_arg(argv[3], "gateways");
   const cost::TerrestrialPricing tp;
   const cost::SatellitePricing sp;
   std::printf(
@@ -211,7 +264,10 @@ int cmd_tle(int argc, char** argv) {
     else
       leo.push_back(t);
   }
-  print_passes(leo, {std::atof(argv[3]), std::atof(argv[4]), 0.0}, 24.0);
+  print_passes(leo,
+               {parse_double_arg(argv[3], "latitude"),
+                parse_double_arg(argv[4], "longitude"), 0.0},
+               24.0);
   return 0;
 }
 
@@ -223,9 +279,11 @@ int cmd_sweep(int argc, char** argv) {
     if (std::strcmp(argv[i], "--fresh") == 0) {
       opts.fresh = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      opts.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      opts.threads =
+          static_cast<unsigned>(parse_int_arg(argv[++i], "--threads"));
     } else if (std::strcmp(argv[i], "--max-points") == 0 && i + 1 < argc) {
-      opts.max_points = static_cast<std::size_t>(std::atoi(argv[++i]));
+      opts.max_points =
+          static_cast<std::size_t>(parse_int_arg(argv[++i], "--max-points"));
     } else {
       return usage();
     }
@@ -260,6 +318,52 @@ int cmd_sweep(int argc, char** argv) {
   std::printf("%sreport written to %s\n", t.render().c_str(),
               report_path.c_str());
   return 0;
+}
+
+int cmd_validate(int argc, char** argv) {
+  if (argc < 4) return usage();
+  std::string baselines_path;
+  val::ValidationOptions opts;
+  opts.metrics = g_metrics;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baselines") == 0 && i + 1 < argc) {
+      baselines_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opts.threads =
+          static_cast<unsigned>(parse_int_arg(argv[++i], "--threads"));
+    } else {
+      return usage();
+    }
+  }
+
+  const val::ValidationScenario scenario = val::validation_scenario(argv[2]);
+  const val::ValidationReport report = val::run_validation(scenario, opts);
+  if (!val::write_json_file(argv[3], report)) {
+    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+    return 1;
+  }
+  std::printf("validation '%s' (%s mode): %zu windows, %zu uplinks -> %s\n",
+              report.scenario.c_str(), report.propagation_mode.c_str(),
+              report.windows.size(), report.link_records.size(), argv[3]);
+  Table scores({"score", "value"});
+  for (const auto& s : report.scores)
+    scores.add_row({s.name, fmt(s.value, 6)});
+  std::printf("%s", scores.render().c_str());
+
+  if (baselines_path.empty()) return 0;
+  const val::BaselineSet baselines =
+      val::read_baselines_file(baselines_path);
+  const val::GateResult gated = val::gate(report, baselines);
+  Table t({"gate", "value", "max", "status"});
+  for (const val::GateCheck& c : gated.checks)
+    t.add_row({c.score, fmt(c.value, 6), fmt(c.max, 6),
+               c.ok ? "ok" : "FAIL"});
+  std::printf("%sgate: %s (%zu checks)\n", t.render().c_str(),
+              gated.passed ? "PASS" : "FAIL", gated.checks.size());
+  if (!gated.passed && baselines.find_scenario(report.scenario) == nullptr)
+    std::fprintf(stderr, "no baseline thresholds for scenario '%s'\n",
+                 report.scenario.c_str());
+  return gated.passed ? 0 : 1;
 }
 
 }  // namespace
@@ -309,7 +413,11 @@ int main(int argc, char** argv) {
     else if (cmd == "cost") rc = cmd_cost(argc, argv);
     else if (cmd == "tle") rc = cmd_tle(argc, argv);
     else if (cmd == "sweep") rc = cmd_sweep(argc, argv);
+    else if (cmd == "validate") rc = cmd_validate(argc, argv);
     else return usage();
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     rc = 1;

@@ -21,12 +21,21 @@ std::string_view field(std::string_view line, std::size_t col_1based,
   return line.substr(col_1based - 1, len);
 }
 
+bool only_spaces(const char* p) {
+  while (*p == ' ') ++p;
+  return *p == '\0';
+}
+
 double parse_double(std::string_view s, const char* what) {
   std::string buf(s);
   char* end = nullptr;
   const double v = std::strtod(buf.c_str(), &end);
-  // Allow trailing spaces; require at least one converted char.
-  if (end == buf.c_str()) fail(std::string("bad number in ") + what);
+  // Require at least one converted char and nothing but spaces after it.
+  // strtod stops silently at the first bad char, so without the `end`
+  // check a corrupted column like "12.3X567" parses as 12.3 and the
+  // element is quietly wrong.
+  if (end == buf.c_str() || !only_spaces(end))
+    fail(std::string("bad number in ") + what);
   return v;
 }
 
@@ -35,7 +44,8 @@ int parse_int(std::string_view s, const char* what) {
   // Leading spaces are common in TLE integer fields.
   char* end = nullptr;
   const long v = std::strtol(buf.c_str(), &end, 10);
-  if (end == buf.c_str()) fail(std::string("bad integer in ") + what);
+  if (end == buf.c_str() || !only_spaces(end))
+    fail(std::string("bad integer in ") + what);
   return static_cast<int>(v);
 }
 
@@ -46,8 +56,10 @@ double parse_implied_exponent(std::string_view s, const char* what) {
   std::size_t i = 0;
   while (i < s.size() && s[i] == ' ') ++i;
   bool neg = false;
+  bool saw_sign = false;
   if (i < s.size() && (s[i] == '-' || s[i] == '+')) {
     neg = s[i] == '-';
+    saw_sign = true;
     ++i;
   }
   buf = neg ? "-0." : "0.";
@@ -57,7 +69,14 @@ double parse_implied_exponent(std::string_view s, const char* what) {
     saw_digit = true;
     ++i;
   }
-  if (!saw_digit) return 0.0;  // all-blank field means zero
+  if (!saw_digit) {
+    // Only a genuinely blank field means zero. Returning 0.0 for any
+    // unparsable content (the old behavior) silently zeroed corrupted
+    // bstar/nddot columns instead of rejecting the TLE.
+    if (only_spaces(std::string(s.substr(i)).c_str()) && !saw_sign)
+      return 0.0;
+    fail(std::string("bad field in ") + what);
+  }
   int exponent = 0;
   if (i < s.size() && (s[i] == '-' || s[i] == '+')) {
     const bool eneg = s[i] == '-';
@@ -68,6 +87,8 @@ double parse_implied_exponent(std::string_view s, const char* what) {
     if (eneg) exponent = -exponent;
     ++i;
   }
+  if (!only_spaces(std::string(s.substr(i)).c_str()))
+    fail(std::string("trailing garbage in ") + what);
   return std::strtod(buf.c_str(), nullptr) * std::pow(10.0, exponent);
 }
 
@@ -164,9 +185,22 @@ Tle parse_tle(std::string_view line1, std::string_view line2) {
   t.inclination_deg = parse_double(field(line2, 9, 8), "inclination");
   t.raan_deg = parse_double(field(line2, 18, 8), "raan");
   {
-    // Eccentricity has an implied leading "0."
-    const std::string ecc = "0." + std::string(field(line2, 27, 7));
-    t.eccentricity = std::strtod(ecc.c_str(), nullptr);
+    // Eccentricity has an implied leading "0." and the field must be a
+    // contiguous digit run (leading/trailing spaces tolerated). The old
+    // strtod(..., nullptr) on "0." + field accepted arbitrary garbage
+    // and truncated at the first bad char — a corrupted column parsed
+    // as a smaller, plausible eccentricity with no error.
+    const std::string_view ecc_field = field(line2, 27, 7);
+    std::size_t b = 0;
+    while (b < ecc_field.size() && ecc_field[b] == ' ') ++b;
+    std::string digits;
+    while (b < ecc_field.size() &&
+           std::isdigit(static_cast<unsigned char>(ecc_field[b])))
+      digits += ecc_field[b++];
+    while (b < ecc_field.size() && ecc_field[b] == ' ') ++b;
+    if (digits.empty() || b != ecc_field.size())
+      fail("bad eccentricity field");
+    t.eccentricity = std::strtod(("0." + digits).c_str(), nullptr);
   }
   t.arg_perigee_deg = parse_double(field(line2, 35, 8), "arg perigee");
   t.mean_anomaly_deg = parse_double(field(line2, 44, 8), "mean anomaly");

@@ -50,9 +50,8 @@ double StreamingStats::stddev() const noexcept {
 Summary summarize(const StreamingStats& s) noexcept {
   Summary out;
   out.count = s.count();
-  if (s.empty()) return out;
   out.mean = s.mean();
-  out.stddev = s.count() < 2 ? 0.0 : s.stddev();
+  out.stddev = s.stddev();
   out.min = s.min();
   out.max = s.max();
   out.sum = s.sum();

@@ -59,7 +59,12 @@ struct Summary {
   double sum = 0.0;
 };
 
-/// Take a snapshot of `s` (NaNs are replaced by 0 for empty inputs).
+/// Take a snapshot of `s`. Fields mirror the accessors exactly,
+/// degenerate values included: mean is NaN when empty, stddev NaN for
+/// fewer than two samples, min/max are +/-inf when empty. summarize()
+/// used to mask the NaN stddev as 0.0, which made a single-sample
+/// series indistinguishable from a perfectly repeated measurement —
+/// downstream consumers must handle NaN (obs JSON round-trips it).
 [[nodiscard]] Summary summarize(const StreamingStats& s) noexcept;
 
 /// Render a summary as a fixed-width human-readable line.

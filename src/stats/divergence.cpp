@@ -1,0 +1,72 @@
+#include "stats/divergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+namespace sinet::stats {
+
+namespace {
+
+void require_nonempty(const EmpiricalCdf& a, const EmpiricalCdf& b,
+                      const char* what) {
+  if (a.empty() || b.empty())
+    throw std::invalid_argument(std::string(what) +
+                                ": both distributions must be non-empty");
+}
+
+}  // namespace
+
+double ks_distance(const EmpiricalCdf& a, const EmpiricalCdf& b) {
+  require_nonempty(a, b, "ks_distance");
+  const std::span<const double> sa = a.sorted_samples();
+  const std::span<const double> sb = b.sorted_samples();
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+
+  // Sweep the merged sample values; after consuming every sample <= x the
+  // two step CDFs are i/na and j/nb, and the supremum is attained at one
+  // of these jump points.
+  std::size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  // Once one side is exhausted its CDF is 1 and the gap only shrinks as
+  // the other side catches up, so the sweep can stop here.
+  return d;
+}
+
+double wasserstein_distance(const EmpiricalCdf& a, const EmpiricalCdf& b) {
+  require_nonempty(a, b, "wasserstein_distance");
+  const std::span<const double> sa = a.sorted_samples();
+  const std::span<const double> sb = b.sorted_samples();
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+
+  // Between consecutive distinct merged sample values the CDF difference
+  // is constant: accumulate |F_a - F_b| times the segment width.
+  std::size_t i = 0, j = 0;
+  double w = 0.0;
+  double prev = std::min(sa.front(), sb.front());
+  while (i < sa.size() || j < sb.size()) {
+    double x;
+    if (i >= sa.size()) x = sb[j];
+    else if (j >= sb.size()) x = sa[i];
+    else x = std::min(sa[i], sb[j]);
+    w += std::abs(static_cast<double>(i) / na -
+                  static_cast<double>(j) / nb) *
+         (x - prev);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    prev = x;
+  }
+  return w;
+}
+
+}  // namespace sinet::stats

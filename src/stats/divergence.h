@@ -1,0 +1,34 @@
+// Two-sample distribution distances over EmpiricalCdf.
+//
+// The cross-simulator validation harness (src/val) scores our measured
+// distributions (contact durations, PDR, latency) against analytic
+// baselines and against each other (fast vs reference propagation) with
+// these metrics; CI gates on them regressing past committed thresholds
+// (tests/data/validation_baselines.json, docs/VALIDATION.md).
+//
+// Both distances treat the inputs as equally-weighted empirical
+// distributions and are exact (no binning):
+//
+//   ks_distance:          D = sup_x |F_a(x) - F_b(x)|, in [0, 1].
+//   wasserstein_distance: W1 = integral |F_a(x) - F_b(x)| dx — the
+//                         earth-mover distance, in the samples' unit.
+#pragma once
+
+#include "stats/cdf.h"
+
+namespace sinet::stats {
+
+/// Two-sample Kolmogorov-Smirnov statistic. Throws std::invalid_argument
+/// when either CDF is empty. Identical sample multisets give exactly 0;
+/// disjoint supports give exactly 1.
+[[nodiscard]] double ks_distance(const EmpiricalCdf& a,
+                                 const EmpiricalCdf& b);
+
+/// 1-D Wasserstein-1 (earth mover) distance between two equally-weighted
+/// empirical distributions, computed exactly as the area between the two
+/// step CDFs. Throws std::invalid_argument when either CDF is empty.
+/// Shifting every sample of one side by c changes the result by |c|.
+[[nodiscard]] double wasserstein_distance(const EmpiricalCdf& a,
+                                          const EmpiricalCdf& b);
+
+}  // namespace sinet::stats

@@ -211,6 +211,25 @@ TEST(RunReport, EmptySnapshotRoundTrips) {
   EXPECT_EQ(empty, parse_json(to_json(empty)));
 }
 
+TEST(RunReport, NonFiniteGaugesRoundTrip) {
+  // stats::summarize propagates NaN (undefined stddev for n < 2) and
+  // +/-inf (empty min/max), so values that reach a gauge must survive
+  // the JSON export unchanged instead of being flattened or rejected.
+  Snapshot s;
+  s.gauges["nan"] = {std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::quiet_NaN()};
+  s.gauges["pinf"] = {std::numeric_limits<double>::infinity(),
+                      std::numeric_limits<double>::infinity()};
+  s.gauges["ninf"] = {-std::numeric_limits<double>::infinity(),
+                      -std::numeric_limits<double>::infinity()};
+  const Snapshot reparsed = parse_json(to_json(s));
+  EXPECT_TRUE(std::isnan(reparsed.gauges.at("nan").value));
+  EXPECT_EQ(reparsed.gauges.at("pinf").value,
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(reparsed.gauges.at("ninf").value,
+            -std::numeric_limits<double>::infinity());
+}
+
 TEST(RunReport, JsonCarriesSchemaTag) {
   const std::string json = to_json(Snapshot{});
   EXPECT_NE(json.find(kRunReportSchema), std::string::npos);

@@ -74,11 +74,24 @@ TEST(StreamingStats, MergeWithEmptyIsNoop) {
   EXPECT_DOUBLE_EQ(c.mean(), 2.0);
 }
 
-TEST(StreamingStats, SummarizeEmptyGivesZeros) {
-  const auto s = sinet::stats::summarize(StreamingStats{});
-  EXPECT_EQ(s.count, 0u);
-  EXPECT_EQ(s.mean, 0.0);
-  EXPECT_EQ(s.stddev, 0.0);
+TEST(StreamingStats, SummarizeMirrorsAccessorsForDegenerateInputs) {
+  // Summary fields must match the accessors exactly: an empty series has
+  // no mean and a single sample has no spread, and masking those NaNs as
+  // 0.0 (the old behavior) faked a perfectly repeated measurement.
+  const auto empty = sinet::stats::summarize(StreamingStats{});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_TRUE(std::isnan(empty.mean));
+  EXPECT_TRUE(std::isnan(empty.stddev));
+  EXPECT_TRUE(std::isinf(empty.min));
+  EXPECT_TRUE(std::isinf(empty.max));
+
+  StreamingStats one;
+  one.add(3.25);
+  const auto s1 = sinet::stats::summarize(one);
+  EXPECT_EQ(s1.count, 1u);
+  EXPECT_EQ(s1.mean, 3.25);
+  EXPECT_TRUE(std::isnan(s1.stddev)) << "stddev undefined for n < 2";
+  EXPECT_TRUE(std::isnan(one.stddev()));
 }
 
 TEST(StreamingStats, ToStringContainsFields) {

@@ -70,6 +70,53 @@ TEST(TleParse, StructuralErrors) {
   EXPECT_THROW(parse_tle(kIssLine1, other2), std::invalid_argument);
 }
 
+// Overwrite `line[col_1based-1 .. +len)` with `text` and recompute the
+// checksum so the corruption reaches the field parsers instead of being
+// caught by the checksum gate.
+std::string corrupt_field(std::string_view line, std::size_t col_1based,
+                          std::string_view text) {
+  std::string out(line);
+  out.replace(col_1based - 1, text.size(), text);
+  out[68] =
+      static_cast<char>('0' + tle_checksum(std::string_view(out).substr(0, 68)));
+  return out;
+}
+
+TEST(TleParse, CorruptedEccentricityFieldIsRejected) {
+  // Pre-fix, strtod(..., nullptr) on "0." + field truncated at the first
+  // bad char: "00A6703" parsed as 0.00 and the orbit silently circularized.
+  const std::string bad2 = corrupt_field(kIssLine2, 27, "00A6703");
+  EXPECT_THROW(parse_tle(kIssLine1, bad2), std::invalid_argument);
+  // Fully blank eccentricity is corruption too, not zero.
+  const std::string blank2 = corrupt_field(kIssLine2, 27, "       ");
+  EXPECT_THROW(parse_tle(kIssLine1, blank2), std::invalid_argument);
+}
+
+TEST(TleParse, CorruptedImpliedDecimalFieldsAreRejected) {
+  // bstar field (line 1, cols 54-61): letters used to parse as 0.0.
+  EXPECT_THROW(parse_tle(corrupt_field(kIssLine1, 54, "ABCDE-44"), kIssLine2),
+               std::invalid_argument);
+  // Sign with no digits is not a blank field.
+  EXPECT_THROW(parse_tle(corrupt_field(kIssLine1, 54, "-       "), kIssLine2),
+               std::invalid_argument);
+  // Trailing garbage after a valid mantissa/exponent.
+  EXPECT_THROW(parse_tle(corrupt_field(kIssLine1, 45, " 1234-4X"), kIssLine2),
+               std::invalid_argument);
+  // A genuinely blank nddot field still means zero.
+  const Tle t = parse_tle(corrupt_field(kIssLine1, 45, "        "), kIssLine2);
+  EXPECT_EQ(t.mean_motion_ddot, 0.0);
+}
+
+TEST(TleParse, TrailingGarbageInNumericColumnsIsRejected) {
+  // Inclination "51.6416" -> "51.64X6": strtod used to stop at the 'X'
+  // and return 51.64, a plausible but wrong inclination.
+  EXPECT_THROW(parse_tle(kIssLine1, corrupt_field(kIssLine2, 9, " 51.64X6")),
+               std::invalid_argument);
+  // Mean motion with an embedded letter.
+  EXPECT_THROW(parse_tle(kIssLine1, corrupt_field(kIssLine2, 53, "15.72O25391")),
+               std::invalid_argument);
+}
+
 TEST(TleChecksum, MinusCountsAsOne) {
   EXPECT_EQ(tle_checksum("----------"), 0);  // 10 * 1 = 10 -> 0
   EXPECT_EQ(tle_checksum("1"), 1);

@@ -1,0 +1,354 @@
+// Tests for the cross-simulator validation harness (src/val) and the
+// divergence metrics it gates on (stats/divergence.h): golden-value K-S
+// and Wasserstein distances, bit-exact sinet.validation.v1 round-trips,
+// analytic-baseline sanity against hand-derived geometry, the gate
+// semantics, and an end-to-end "quick" scenario run checked against the
+// committed baseline thresholds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "orbit/ephemeris.h"
+#include "orbit/time.h"
+#include "stats/cdf.h"
+#include "stats/divergence.h"
+#include "val/baseline.h"
+#include "val/schema.h"
+#include "val/validate.h"
+
+namespace {
+
+using namespace sinet;
+using sinet::stats::EmpiricalCdf;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// ---------------------------------------------------------------------
+// Divergence metrics
+
+TEST(Divergence, KsGoldenValues) {
+  // F_a and F_b differ by exactly 1/3 on [1,2) and [3,4).
+  EXPECT_DOUBLE_EQ(stats::ks_distance({1, 2, 3}, {2, 3, 4}), 1.0 / 3.0);
+  // Half the mass moved from 0 to 1: sup gap is 3/4 - 1/4 at x = 0.
+  EXPECT_DOUBLE_EQ(stats::ks_distance({0, 0, 0, 1}, {0, 1, 1, 1}), 0.5);
+  // Disjoint supports saturate at 1.
+  EXPECT_DOUBLE_EQ(stats::ks_distance({0}, {10}), 1.0);
+  // Different sample counts, same distribution.
+  EXPECT_DOUBLE_EQ(stats::ks_distance({5, 5, 5}, {5}), 0.0);
+}
+
+TEST(Divergence, WassersteinGoldenValues) {
+  // Shift by 1: W1 equals the shift.
+  EXPECT_DOUBLE_EQ(stats::wasserstein_distance({1, 2, 3}, {2, 3, 4}), 1.0);
+  // Half the mass moves distance 1: W1 = 0.5.
+  EXPECT_DOUBLE_EQ(stats::wasserstein_distance({0, 0, 0, 1}, {0, 1, 1, 1}),
+                   0.5);
+  // Point masses 10 apart.
+  EXPECT_DOUBLE_EQ(stats::wasserstein_distance({0}, {10}), 10.0);
+}
+
+TEST(Divergence, IdenticalSamplesGiveExactZero) {
+  const EmpiricalCdf a{3.25, 901.0, 17.5, 42.0};
+  EXPECT_EQ(stats::ks_distance(a, a), 0.0);
+  EXPECT_EQ(stats::wasserstein_distance(a, a), 0.0);
+}
+
+TEST(Divergence, SymmetricInArguments) {
+  const EmpiricalCdf a{1, 2, 2, 8};
+  const EmpiricalCdf b{0.5, 2, 9, 9, 12};
+  EXPECT_DOUBLE_EQ(stats::ks_distance(a, b), stats::ks_distance(b, a));
+  EXPECT_DOUBLE_EQ(stats::wasserstein_distance(a, b),
+                   stats::wasserstein_distance(b, a));
+}
+
+TEST(Divergence, EmptyInputThrows) {
+  const EmpiricalCdf empty;
+  const EmpiricalCdf one{1.0};
+  EXPECT_THROW(stats::ks_distance(empty, one), std::invalid_argument);
+  EXPECT_THROW(stats::ks_distance(one, empty), std::invalid_argument);
+  EXPECT_THROW(stats::wasserstein_distance(empty, one),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Schema round-trip
+
+TEST(ValidationSchema, RoundTripIsBitExact) {
+  val::ValidationReport r;
+  r.scenario = "unit \"quoted\" \\ scenario";
+  r.propagation_mode = "fast";
+  r.start_jd = 2460735.5000000005;
+  r.duration_days = 0.30000000000000004;
+  r.windows.push_back(
+      {"TQ-7", "HK", 2460735.512345678901, 2460735.5192837465,
+       2460735.5150000001, 89.99999999999999});
+  r.link_records.push_back({"TQ-node-1", 1740787200.5, -1.0, -1.0, 0, false});
+  r.link_records.push_back(
+      {"TQ-node-2", 1740787260.25, 1740790000.125, 1740790321.0625, 3, true});
+  r.distributions.push_back({"contact_duration_s.legacy",
+                             {0.1, 602.5000000000001, 1e-300, 1.5e9}});
+  r.distributions.push_back({"empty", {}});
+  r.scores.push_back({"windows.fast_vs_legacy.ks", 1.0 / 3.0});
+  r.scalars.push_back({"availability.daily_hours.measured", 20.401951923966408});
+
+  const std::string json = val::to_json(r);
+  const val::ValidationReport back = val::parse_json(json);
+  // Bit-exact: re-serialization reproduces the same bytes.
+  EXPECT_EQ(json, val::to_json(back));
+  ASSERT_EQ(back.windows.size(), 1u);
+  EXPECT_EQ(back.windows[0].aos_jd, r.windows[0].aos_jd);
+  EXPECT_EQ(back.windows[0].max_elevation_deg,
+            r.windows[0].max_elevation_deg);
+  ASSERT_EQ(back.link_records.size(), 2u);
+  EXPECT_FALSE(back.link_records[0].delivered);
+  EXPECT_EQ(back.link_records[1].attempts, 3u);
+  ASSERT_EQ(back.distributions.size(), 2u);
+  EXPECT_EQ(back.distributions[0].samples, r.distributions[0].samples);
+  EXPECT_EQ(back.scenario, r.scenario);
+}
+
+TEST(ValidationSchema, NanScalarsRoundTrip) {
+  val::ValidationReport r;
+  r.scenario = "s";
+  r.scalars.push_back({"undefined", kNaN});
+  const val::ValidationReport back = val::parse_json(val::to_json(r));
+  EXPECT_TRUE(std::isnan(back.scalar_or_nan("undefined")));
+  EXPECT_EQ(val::to_json(r), val::to_json(back));
+}
+
+TEST(ValidationSchema, RejectsWrongSchemaAndUnknownKeys) {
+  EXPECT_THROW(val::parse_json("{\"schema\": \"sinet.other.v1\"}"),
+               std::exception);
+  EXPECT_THROW(val::parse_json("{\"bogus\": 1}"), std::exception);
+  EXPECT_THROW(val::parse_json("not json"), std::exception);
+}
+
+TEST(ValidationSchema, FileRoundTrip) {
+  val::ValidationReport r;
+  r.scenario = "file";
+  r.scores.push_back({"a", 0.5});
+  const std::string path = ::testing::TempDir() + "val_report_rt.json";
+  ASSERT_TRUE(val::write_json_file(path, r));
+  const val::ValidationReport back = val::read_json_file(path);
+  EXPECT_EQ(val::to_json(r), val::to_json(back));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Analytic baselines
+
+TEST(Baseline, VisibilityHalfAngleMatchesHandComputation) {
+  // h = 600 km, eps = 0: theta = acos(Re / (Re + h)).
+  const double theta = val::visibility_half_angle_rad(600.0, 0.0);
+  EXPECT_NEAR(theta, std::acos(6378.137 / 6978.137), 1e-6);
+  // A mask shrinks the cone.
+  EXPECT_LT(val::visibility_half_angle_rad(600.0, 25.0), theta);
+  EXPECT_THROW(val::visibility_half_angle_rad(-1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(val::visibility_half_angle_rad(600.0, 90.0),
+               std::invalid_argument);
+}
+
+TEST(Baseline, AvailabilityMonotoneInFleetSize) {
+  const double one = val::constellation_availability({{1, 600.0, 97.5}}, 0.0);
+  const double ten = val::constellation_availability({{10, 600.0, 97.5}}, 0.0);
+  EXPECT_GT(one, 0.0);
+  EXPECT_LT(one, ten);
+  EXPECT_LT(ten, 1.0);
+  // Single-satellite case reduces to the cap fraction.
+  EXPECT_NEAR(one, val::single_satellite_visibility_fraction(600.0, 0.0),
+              1e-12);
+  EXPECT_NEAR(val::expected_daily_presence_hours({{10, 600.0, 97.5}}, 0.0),
+              24.0 * ten, 1e-9);
+}
+
+TEST(Baseline, MaxPassDurationIsPhysicallyPlausible) {
+  // A 600 km zero-mask overhead pass lasts roughly 10-20 minutes.
+  const double t = val::max_pass_duration_s(600.0, 0.0, 97.5);
+  EXPECT_GT(t, 500.0);
+  EXPECT_LT(t, 1500.0);
+  // Higher orbits give longer passes.
+  EXPECT_GT(val::max_pass_duration_s(1200.0, 0.0, 97.5), t);
+}
+
+TEST(Baseline, PassDurationCdfIsARandomChordLaw) {
+  const double t_max = 600.0;
+  EXPECT_EQ(val::pass_duration_cdf(-5.0, t_max), 0.0);
+  EXPECT_EQ(val::pass_duration_cdf(0.0, t_max), 0.0);
+  EXPECT_EQ(val::pass_duration_cdf(t_max, t_max), 1.0);
+  // F(T/2) = 1 - sqrt(3)/2.
+  EXPECT_NEAR(val::pass_duration_cdf(300.0, t_max),
+              1.0 - std::sqrt(3.0) / 2.0, 1e-12);
+
+  // The materialized CDF has mean (pi/4) T_max per shell.
+  const auto cdf =
+      val::analytic_pass_duration_cdf({{8, 600.0, 97.5}}, 0.0, 4096);
+  ASSERT_EQ(cdf.size(), 4096u);
+  double sum = 0.0;
+  for (const double x : cdf.sorted_samples()) sum += x;
+  const double t_shell = val::max_pass_duration_s(600.0, 0.0, 97.5);
+  EXPECT_NEAR(sum / 4096.0, (3.14159265358979 / 4.0) * t_shell,
+              0.002 * t_shell);
+}
+
+TEST(Baseline, DeliveryRateMatchesHandComputation) {
+  val::UplinkDeliveryModel m;
+  m.nominal_loss = 0.5;
+  m.congested_probability = 0.0;
+  m.congested_loss = 1.0;
+  m.max_retransmissions = 1;
+  m.delivery_loss = 0.0;
+  // Two attempts at 50% loss: fail 0.25 -> deliver 0.75.
+  EXPECT_NEAR(val::expected_delivery_rate(m), 0.75, 1e-12);
+  m.delivery_loss = 0.1;
+  EXPECT_NEAR(val::expected_delivery_rate(m), 0.675, 1e-12);
+  m.congested_probability = 1.0;  // always congested, loss 1 -> never
+  EXPECT_NEAR(val::expected_delivery_rate(m), 0.0, 1e-12);
+  m.congested_loss = 1.5;
+  EXPECT_THROW(val::expected_delivery_rate(m), std::invalid_argument);
+}
+
+TEST(Baseline, RenewalWaitMatchesHandComputation) {
+  // One gap of 100 s in a 200 s span: E[wait] = 100^2 / (2 * 200) = 25.
+  EXPECT_NEAR(val::expected_wait_s({{100.0, 200.0}}, 0.0, 200.0), 25.0,
+              1e-12);
+  // Full coverage: zero wait.
+  EXPECT_EQ(val::expected_wait_s({{0.0, 50.0}}, 0.0, 50.0), 0.0);
+  // No windows at all: the whole span is one censored gap, E = T/2.
+  EXPECT_NEAR(val::expected_wait_s({}, 0.0, 100.0), 50.0, 1e-12);
+  EXPECT_EQ(val::expected_wait_s({}, 5.0, 5.0), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Gate semantics
+
+val::ValidationReport report_with(const std::string& scenario,
+                                  const std::string& score, double value) {
+  val::ValidationReport r;
+  r.scenario = scenario;
+  r.scores.push_back({score, value});
+  return r;
+}
+
+val::BaselineSet one_threshold(const std::string& scenario,
+                               const std::string& score, double max) {
+  val::BaselineSet b;
+  b.scenarios.push_back({scenario, {{score, max}}});
+  return b;
+}
+
+TEST(Gate, PassesUnderThresholdFailsOver) {
+  const auto b = one_threshold("quick", "x.ks", 0.1);
+  EXPECT_TRUE(val::gate(report_with("quick", "x.ks", 0.05), b).passed);
+  EXPECT_TRUE(val::gate(report_with("quick", "x.ks", 0.1), b).passed);
+  const auto fail = val::gate(report_with("quick", "x.ks", 0.2), b);
+  EXPECT_FALSE(fail.passed);
+  ASSERT_EQ(fail.checks.size(), 1u);
+  EXPECT_FALSE(fail.checks[0].ok);
+  EXPECT_EQ(fail.checks[0].score, "x.ks");
+}
+
+TEST(Gate, MissingScoreAndNanFail) {
+  const auto b = one_threshold("quick", "x.ks", 0.1);
+  EXPECT_FALSE(val::gate(report_with("quick", "other", 0.0), b).passed);
+  EXPECT_FALSE(val::gate(report_with("quick", "x.ks", kNaN), b).passed);
+}
+
+TEST(Gate, UnknownScenarioFails) {
+  const auto b = one_threshold("quick", "x.ks", 0.1);
+  EXPECT_FALSE(val::gate(report_with("reference", "x.ks", 0.0), b).passed);
+}
+
+TEST(Gate, BaselineJsonRoundTripsAndRejectsGarbage) {
+  val::BaselineSet b;
+  b.scenarios.push_back({"quick", {{"a.ks", 0.25}, {"b.w", 10.0}}});
+  b.scenarios.push_back({"reference", {}});
+  const val::BaselineSet back = val::parse_baselines_json(val::to_json(b));
+  EXPECT_EQ(val::to_json(b), val::to_json(back));
+  ASSERT_NE(back.find_scenario("quick"), nullptr);
+  EXPECT_EQ(back.find_scenario("quick")->thresholds.size(), 2u);
+  EXPECT_EQ(back.find_scenario("missing"), nullptr);
+  EXPECT_THROW(val::parse_baselines_json("{\"schema\": \"wrong\"}"),
+               std::exception);
+  EXPECT_THROW(val::parse_baselines_json("{}"), std::exception);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end scenario run
+
+TEST(RunValidation, UnknownScenarioThrows) {
+  EXPECT_THROW(val::validation_scenario("nope"), std::invalid_argument);
+}
+
+TEST(RunValidation, QuickScenarioPassesCommittedGate) {
+  const val::ValidationScenario sc = val::validation_scenario("quick");
+  const val::ValidationReport report = val::run_validation(sc);
+
+  // Shared-ephemeris and culled scans are bit-identical to the legacy
+  // per-pair scan, so their divergence must be *exactly* zero.
+  EXPECT_EQ(report.score_or_nan("windows.shared_vs_legacy.ks"), 0.0);
+  EXPECT_EQ(report.score_or_nan("windows.shared_vs_legacy.wasserstein_s"),
+            0.0);
+  EXPECT_EQ(report.score_or_nan("windows.culled_vs_legacy.ks"), 0.0);
+  EXPECT_EQ(report.score_or_nan("windows.culled_vs_legacy.count_rel_err"),
+            0.0);
+
+  // The SIMD fast arm is tolerance-bounded, not bit-exact by contract.
+  EXPECT_LE(report.score_or_nan("windows.fast_vs_legacy.ks"), 0.02);
+
+  // Analytic agreement is coarse but bounded.
+  EXPECT_LT(report.score_or_nan("contact_duration.legacy_vs_analytic.ks"),
+            0.15);
+  EXPECT_LT(report.score_or_nan("availability.daily_hours.rel_err"), 0.35);
+  // Geometric renewal lower-bounds the DES wait.
+  EXPECT_LE(report.score_or_nan("dts.wait.renewal_bound_ratio"), 1.0);
+
+  // Report carries the data the scores were computed from.
+  EXPECT_FALSE(report.windows.empty());
+  EXPECT_FALSE(report.link_records.empty());
+  ASSERT_NE(report.find_distribution("contact_duration_s.legacy"), nullptr);
+  ASSERT_NE(report.find_distribution("dts.wait_s"), nullptr);
+
+  // Round-trips bit-exactly through the schema.
+  EXPECT_EQ(val::to_json(report),
+            val::to_json(val::parse_json(val::to_json(report))));
+
+  // And the committed baseline thresholds gate it green.
+  const val::BaselineSet baselines = val::read_baselines_file(
+      std::string(SINET_TEST_DATA_DIR) + "/validation_baselines.json");
+  const val::GateResult gated = val::gate(report, baselines);
+  for (const val::GateCheck& c : gated.checks)
+    EXPECT_TRUE(c.ok) << c.score << " = " << c.value << " > " << c.max;
+  EXPECT_TRUE(gated.passed);
+  EXPECT_GE(gated.checks.size(), 10u);
+}
+
+TEST(RunValidation, FastModeQuickScenarioPassesSameGate) {
+  // Acceptance criterion: the SIMD fast path passes the same gate as the
+  // reference mode. The DtS arm follows the ambient mode; the four scan
+  // arms pin their own modes, so the cross-arm scores stay comparable.
+  const orbit::PropagationMode prev = orbit::propagation_mode();
+  orbit::set_propagation_mode(orbit::PropagationMode::kFast);
+  val::ValidationReport report;
+  try {
+    report = val::run_validation(val::validation_scenario("quick"));
+  } catch (...) {
+    orbit::set_propagation_mode(prev);
+    throw;
+  }
+  orbit::set_propagation_mode(prev);
+
+  EXPECT_EQ(report.propagation_mode, "fast");
+  const val::BaselineSet baselines = val::read_baselines_file(
+      std::string(SINET_TEST_DATA_DIR) + "/validation_baselines.json");
+  const val::GateResult gated = val::gate(report, baselines);
+  for (const val::GateCheck& c : gated.checks)
+    EXPECT_TRUE(c.ok) << c.score << " = " << c.value << " > " << c.max;
+  EXPECT_TRUE(gated.passed);
+}
+
+}  // namespace

@@ -74,10 +74,20 @@ else
   echo "note: $sinet_cli not built; skipping run report" >&2
 fi
 
+# Cross-simulator divergence scores (docs/VALIDATION.md): run the
+# reference validation scenario and merge its scores next to the
+# wall-times, so behavioural drift is tracked alongside performance.
+if [[ -x "$sinet_cli" ]]; then
+  echo "== validation report (sinet validate reference)"
+  "$sinet_cli" validate reference "$out_dir/validation_report.json" \
+               > /dev/null
+fi
+
 # Merge: { "<bench binary>": <google-benchmark JSON>, ...,
 #          "run_report": <sinet.run_report.v1 JSON>,
 #          "run_report_fast": <the same under PropagationMode::kFast>,
-#          "ephemeris_ablation": <campaign-scan arm table incl. simd> }
+#          "ephemeris_ablation": <campaign-scan arm table incl. simd>,
+#          "validation": <divergence scores/scalars from sinet validate> }
 python3 - "$out_dir" "$repo_root/BENCH_RESULTS.json" <<'PY'
 import json, pathlib, sys
 
@@ -92,6 +102,20 @@ for key, name in (("run_report", "run_report.json"),
     if report.exists():
         with open(report) as fh:
             merged[key] = json.load(fh)
+
+# Divergence scores from the validation harness: keep only the compact
+# scores/scalars (the full report carries every window and uplink).
+validation = out_dir / "validation_report.json"
+if validation.exists():
+    with open(validation) as fh:
+        report = json.load(fh)
+    merged["validation"] = {
+        "schema": report.get("schema"),
+        "scenario": report.get("scenario"),
+        "propagation_mode": report.get("propagation_mode"),
+        "scores": {s["name"]: s["value"] for s in report.get("scores", [])},
+        "scalars": {s["name"]: s["value"] for s in report.get("scalars", [])},
+    }
 
 # Distill the 30-day campaign-scan ablation (legacy / shared / culled /
 # simd) into one flat column set so the perf trajectory diffs cleanly.
