@@ -12,11 +12,16 @@
 //   sinet validate <scenario> <out.json>               cross-simulator
 //                                                      validation report
 //                                                      (docs/VALIDATION.md)
+//   sinet dts --nodes N --sats K [...]                 population-scale
+//                                                      DtS fleet run
+//                                                      (machine-greppable
+//                                                      key=value output)
 //
 // Thin argument handling on purpose: each subcommand is three or four
 // calls into the public API, mirroring what downstream users would write.
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +38,7 @@
 #include "core/report.h"
 #include "cost/cost_model.h"
 #include "exp/sweep_runner.h"
+#include "net/dts_network.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "orbit/ephemeris.h"
@@ -100,6 +106,10 @@ int usage() {
       "              [--max-points N] [--fresh]\n"
       "  sinet validate <scenario> <out.json> [--baselines <file>]\n"
       "                 [--threads N]\n"
+      "  sinet dts --nodes N --sats K [--sites M=256] [--days D=1]\n"
+      "            [--seed S=42] [--engine auto|legacy|batched]\n"
+      "            [--access aloha|scheduled] [--interval SECONDS]\n"
+      "            [--threshold NODES]\n"
       "\n"
       "  --metrics <out.json>  write a structured run report (event-queue,\n"
       "                        thread-pool, pass-cache and campaign\n"
@@ -121,7 +131,13 @@ int usage() {
       "  validate runs the cross-simulator scenario ('reference' or\n"
       "  'quick'), writes a sinet.validation.v1 report to <out.json> and,\n"
       "  with --baselines, gates the divergence scores against the\n"
-      "  committed thresholds (exit 1 on regression; docs/VALIDATION.md).\n");
+      "  committed thresholds (exit 1 on regression; docs/VALIDATION.md).\n"
+      "\n"
+      "  dts runs a population-scale direct-to-satellite fleet (synthetic\n"
+      "  Tianqi-like shell, equal-area node spiral) and prints\n"
+      "  machine-greppable key=value result lines; above --threshold\n"
+      "  nodes the run keeps streaming aggregates only, so memory stays\n"
+      "  bounded at millions of nodes (docs/PERFORMANCE.md).\n");
   return 2;
 }
 
@@ -366,6 +382,122 @@ int cmd_validate(int argc, char** argv) {
   return gated.passed ? 0 : 1;
 }
 
+// Population-scale DtS run. Output is machine-greppable key=value lines
+// (one per line, no alignment) so the CI scale-smoke job and
+// tools/run_benchmarks.sh can parse it with a plain regex.
+int cmd_dts(int argc, char** argv) {
+  long nodes = 0;
+  long sats = 0;
+  long sites = 256;
+  double days = 1.0;
+  long seed = 42;
+  long threshold = -1;  // -1 = library default
+  double interval_s = 0.0;
+  std::string engine = "auto";
+  std::string access;
+  for (int i = 2; i < argc; ++i) {
+    const auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc)
+        throw UsageError(std::string(what) + ": missing value");
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--nodes") == 0)
+      nodes = parse_int_arg(next("--nodes"), "--nodes");
+    else if (std::strcmp(argv[i], "--sats") == 0)
+      sats = parse_int_arg(next("--sats"), "--sats");
+    else if (std::strcmp(argv[i], "--sites") == 0)
+      sites = parse_int_arg(next("--sites"), "--sites");
+    else if (std::strcmp(argv[i], "--days") == 0)
+      days = parse_double_arg(next("--days"), "--days");
+    else if (std::strcmp(argv[i], "--seed") == 0)
+      seed = parse_int_arg(next("--seed"), "--seed");
+    else if (std::strcmp(argv[i], "--threshold") == 0)
+      threshold = parse_int_arg(next("--threshold"), "--threshold");
+    else if (std::strcmp(argv[i], "--interval") == 0)
+      interval_s = parse_double_arg(next("--interval"), "--interval");
+    else if (std::strcmp(argv[i], "--engine") == 0)
+      engine = next("--engine");
+    else if (std::strcmp(argv[i], "--access") == 0)
+      access = next("--access");
+    else
+      throw UsageError(std::string("dts: unknown argument '") + argv[i] +
+                       "'");
+  }
+  if (nodes <= 0 || sats <= 0 || sites <= 0)
+    throw UsageError("dts: --nodes and --sats are required and positive");
+
+  net::DtsNetworkConfig cfg = net::scale_fleet_config(
+      static_cast<std::size_t>(nodes), static_cast<std::size_t>(sats),
+      static_cast<std::size_t>(sites), campaign_epoch_jd(), days);
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  if (threshold >= 0)
+    cfg.trace_node_threshold = static_cast<std::size_t>(threshold);
+  if (interval_s > 0.0) cfg.fleet.prototype.report_interval_s = interval_s;
+  if (engine == "legacy") cfg.engine = net::DtsEngine::kLegacy;
+  else if (engine == "batched") cfg.engine = net::DtsEngine::kBatched;
+  else if (engine != "auto")
+    throw UsageError("dts: --engine must be auto|legacy|batched");
+  if (access == "aloha")
+    cfg.uplink_access = net::UplinkAccess::kSlottedAloha;
+  else if (access == "scheduled")
+    cfg.uplink_access = net::UplinkAccess::kScheduled;
+  else if (!access.empty())
+    throw UsageError("dts: --access must be aloha|scheduled");
+
+  // Always instrument: the gauges below are the point of the command.
+  obs::MetricsRegistry local;
+  obs::MetricsRegistry& reg = g_metrics != nullptr ? *g_metrics : local;
+  cfg.metrics = &reg;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const net::DtsNetworkResult res = net::run_dts_network(cfg);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const obs::Snapshot snap = reg.snapshot();
+  const auto gauge = [&snap](const char* name) {
+    const auto it = snap.gauges.find(name);
+    return it == snap.gauges.end() ? 0.0 : it->second.value;
+  };
+  std::printf("dts.engine=%s\n",
+              cfg.engine == net::DtsEngine::kLegacy ? "legacy" : "batched");
+  std::printf("dts.nodes=%ld\n", nodes);
+  std::printf("dts.sats=%ld\n", sats);
+  std::printf("dts.days=%g\n", days);
+  std::printf("dts.reports_generated=%llu\n",
+              static_cast<unsigned long long>(res.agg.reports_generated));
+  std::printf("dts.eligible_generated=%llu\n",
+              static_cast<unsigned long long>(res.agg.eligible_generated));
+  std::printf("dts.delivered_fraction=%.6f\n", res.agg.delivered_fraction());
+  std::printf("dts.eligible_pdr=%.6f\n",
+              res.agg.eligible_delivered_fraction());
+  std::printf("dts.mean_latency_s=%.3f\n", res.agg.mean_end_to_end_s());
+  std::printf("dts.mean_wait_s=%.3f\n", res.agg.mean_wait_s());
+  std::printf("dts.local_buffer_drops=%llu\n",
+              static_cast<unsigned long long>(res.agg.local_buffer_drops));
+  std::printf("dts.packets_abandoned=%llu\n",
+              static_cast<unsigned long long>(res.agg.packets_abandoned));
+  std::printf("dts.sat_buffer_drops=%llu\n",
+              static_cast<unsigned long long>(
+                  res.counters.satellite_buffer_drops));
+  std::printf("dts.wall_s=%.3f\n", wall_s);
+  std::printf("dts.nodes_per_s=%.1f\n",
+              wall_s > 0.0 ? static_cast<double>(nodes) / wall_s : 0.0);
+  std::printf("dts.event_queue_max_pending=%.0f\n",
+              gauge("sim.event_queue.max_pending"));
+  std::printf("dts.node_store_mb=%.2f\n",
+              gauge("net.dts.scale.node_store_bytes") / (1024.0 * 1024.0));
+  std::printf("dts.timeline_mb=%.2f\n",
+              gauge("net.dts.scale.timeline_bytes") / (1024.0 * 1024.0));
+  std::printf("dts.sat_buffer_peak_packets=%.0f\n",
+              gauge("net.dts.scale.sat_buffer_peak_packets"));
+  std::printf("dts.peak_rss_mb=%.1f\n",
+              static_cast<double>(obs::process_peak_rss_bytes()) /
+                  (1024.0 * 1024.0));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -414,6 +546,7 @@ int main(int argc, char** argv) {
     else if (cmd == "tle") rc = cmd_tle(argc, argv);
     else if (cmd == "sweep") rc = cmd_sweep(argc, argv);
     else if (cmd == "validate") rc = cmd_validate(argc, argv);
+    else if (cmd == "dts") rc = cmd_dts(argc, argv);
     else return usage();
   } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

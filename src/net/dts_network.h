@@ -29,6 +29,7 @@
 #include "orbit/passes.h"
 #include "phy/error_model.h"
 #include "phy/link_budget.h"
+#include "stats/histogram.h"
 #include "trace/packet_trace.h"
 
 namespace sinet::obs {
@@ -36,6 +37,36 @@ class MetricsRegistry;
 }  // namespace sinet::obs
 
 namespace sinet::net {
+
+/// Which DES engine runs the DtS pipeline.
+///
+/// kLegacy is the original per-node-event simulator (one queue event per
+/// report, per-satellite beacon events iterating every node). kBatched is
+/// the population-scale engine: struct-of-arrays node state, lazy report
+/// materialization from an activation heap, and one chained timeline
+/// event per satellite. Below DtsNetworkConfig::trace_node_threshold the
+/// batched engine replays the legacy RNG draw order bit-for-bit and its
+/// DtsNetworkResult is EXPECT_EQ-identical (enforced by the randomized
+/// parity suite in test_dts_scale.cpp); above it, it switches to
+/// active-node-only resolution with streaming aggregates. kAuto resolves
+/// to kBatched.
+enum class DtsEngine {
+  kAuto = 0,
+  kLegacy,
+  kBatched,
+};
+
+/// Compact description of a uniform mega-fleet: `count` nodes cloned from
+/// `prototype`, deployed round-robin across `sites` (node i lives at
+/// sites[i % sites.size()] and is named "<prototype.name>-<i>" where a
+/// name is needed). Avoids materializing one IotNodeConfig — with its
+/// heap-allocated name — per node when count is in the millions; the
+/// batched engine reads the prototype straight into its SoA arrays.
+struct NodeFleet {
+  std::size_t count = 0;  ///< 0 = use DtsNetworkConfig::nodes instead
+  std::vector<orbit::Geodetic> sites;
+  IotNodeConfig prototype;
+};
 
 struct DtsNetworkConfig {
   orbit::JulianDate start_jd = 0.0;  ///< simulation epoch (UTC)
@@ -103,9 +134,26 @@ struct DtsNetworkConfig {
   std::size_t downlink_packets_per_contact = 0;
 
   std::vector<IotNodeConfig> nodes;
+  /// Population-scale alternative to `nodes`: when fleet.count > 0 the
+  /// node list must be empty and the fleet prototype/sites describe the
+  /// population instead.
+  NodeFleet fleet;
   std::vector<GroundStationSite> ground_stations;
   BackhaulConfig delivery_backhaul;
   std::size_t satellite_buffer_capacity = 4096;
+
+  /// Engine selection (see DtsEngine). kAuto runs the batched engine.
+  DtsEngine engine = DtsEngine::kAuto;
+  /// Node-count boundary of the batched engine's two modes. At or below
+  /// the threshold it keeps full per-packet UplinkRecords / per-node
+  /// residency and reproduces the legacy engine bit-for-bit; above it,
+  /// results carry only DtsAggregates (uplinks/node_residency stay
+  /// empty) and memory stays O(nodes + pending), not O(reports).
+  std::size_t trace_node_threshold = 4096;
+  /// Tail exclusion (s) for the aggregate eligible-delivery ratio:
+  /// reports generated within this long of the run end are not counted
+  /// as eligible (mirrors core::summarize_reliability's default).
+  double aggregate_tail_exclusion_s = 6.0 * 3600.0;
 
   /// Weather per simulated day at the node site; shorter vectors repeat
   /// cyclically, empty = always sunny.
@@ -150,10 +198,52 @@ struct DtsCounters {
   std::uint64_t background_losses = 0;  ///< footprint congestion losses
 };
 
+/// Streaming aggregates of a DtS run. Always populated; above the trace
+/// threshold they are the ONLY per-packet output (the engine folds each
+/// delivery into these histograms at flush time instead of keeping an
+/// UplinkRecord per report), which is what keeps a 1M-node / 24 h run's
+/// memory bounded. Latency decompositions are over delivered packets
+/// with complete timing, matching mean_latency_breakdown(); the wait
+/// histogram is over every packet that reached a first transmission.
+struct DtsAggregates {
+  std::uint64_t reports_generated = 0;
+  std::uint64_t reports_delivered = 0;
+  /// Reports generated at least `aggregate_tail_exclusion_s` before the
+  /// run end (they had a fair chance to deliver), and the delivered
+  /// subset thereof — the scale PDR scored against the analytic model.
+  std::uint64_t eligible_generated = 0;
+  std::uint64_t eligible_delivered = 0;
+  std::uint64_t local_buffer_drops = 0;
+  std::uint64_t packets_abandoned = 0;  ///< ARQ budget exhausted
+
+  double sum_end_to_end_s = 0.0;  ///< over delivered packets
+  double sum_wait_s = 0.0;        ///< over first-transmitted packets
+  std::uint64_t wait_samples = 0;
+  double sum_dts_transfer_s = 0.0;  ///< over delivered w/ full timing
+  double sum_delivery_s = 0.0;
+  std::uint64_t breakdown_samples = 0;
+
+  stats::Histogram latency_s{0.0, 6.0 * 3600.0, 144};
+  stats::Histogram wait_s{0.0, 6.0 * 3600.0, 144};
+  stats::Histogram attempts{0.5, 32.5, 32};  ///< per transmitted packet
+
+  /// Fleet-summed energy residency (per-node trackers are only kept
+  /// below the trace threshold).
+  energy::ResidencyTracker fleet_residency;
+
+  [[nodiscard]] double delivered_fraction() const;
+  [[nodiscard]] double eligible_delivered_fraction() const;
+  [[nodiscard]] double mean_end_to_end_s() const;
+  [[nodiscard]] double mean_wait_s() const;
+};
+
 struct DtsNetworkResult {
   std::vector<trace::UplinkRecord> uplinks;  ///< one per generated report
   std::vector<energy::ResidencyTracker> node_residency;
   DtsCounters counters;
+  /// Streaming aggregates; above the trace threshold `uplinks` and
+  /// `node_residency` stay empty and this is the per-packet output.
+  DtsAggregates agg;
 
   [[nodiscard]] double delivered_fraction() const;
   [[nodiscard]] double mean_end_to_end_s() const;
@@ -174,8 +264,21 @@ struct DtsNetworkResult {
 /// an empty/inverted window (los_s < aos_s) yields no flushes.
 [[nodiscard]] std::vector<double> gs_flush_times(double aos_s, double los_s);
 
-/// Run the full simulation. Throws std::invalid_argument on nonsensical
-/// configuration (no nodes, nonpositive duration, ...).
+/// Population-scale configuration: `node_count` nodes with the Tianqi
+/// agriculture link budget spread round-robin over `site_count` sites on
+/// an equal-area spiral between +-55 deg latitude, flying a synthetic
+/// `satellite_count`-satellite constellation (Tianqi-like 550 km / 53 deg
+/// shell). Uses scheduled (CosMAC-style) uplink access so the footprint
+/// MAC stays stable at mega-fleet load, and sizes the satellite buffers
+/// for the per-satellite arrival rate. Deterministic for a fixed seed.
+[[nodiscard]] DtsNetworkConfig scale_fleet_config(
+    std::size_t node_count, std::size_t satellite_count,
+    std::size_t site_count, orbit::JulianDate start_jd,
+    double duration_days = 1.0);
+
+/// Run the full simulation with the engine selected by cfg.engine.
+/// Throws std::invalid_argument on nonsensical configuration (no nodes,
+/// nonpositive duration, ...).
 [[nodiscard]] DtsNetworkResult run_dts_network(const DtsNetworkConfig& cfg);
 
 }  // namespace sinet::net

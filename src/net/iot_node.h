@@ -34,8 +34,14 @@ struct IotNodeState {
   int head_attempts = 0;            ///< attempts spent on buffer front
   int head_max_concurrency = 0;     ///< peak concurrency on buffer front
   /// Radio busy with an uplink until this sim time: a node answers at
-  /// most one beacon at a time (half-duplex single radio).
-  sim::SimTime busy_until = -1.0;
+  /// most one beacon at a time (half-duplex single radio). The busy test
+  /// is strict (`now < busy_until`), so 0.0 — "never transmitted" — can
+  /// not mark a node busy at sim time 0: a beacon arriving exactly at
+  /// t = 0 (or exactly at a resumed shard boundary) is answered. The
+  /// previous -1.0 magic sentinel behaved identically for every now >= 0
+  /// but read as if negative times were meaningful; the regression test
+  /// in test_dts_scale.cpp pins the t = 0 behavior either way.
+  sim::SimTime busy_until = 0.0;
   std::size_t local_drops = 0;      ///< reports lost to buffer overflow
 
   // Counters for the measurement reports.

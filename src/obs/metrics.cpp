@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 namespace sinet::obs {
@@ -180,6 +182,27 @@ Snapshot MetricsRegistry::snapshot() const {
     s.histograms[name] = std::move(hs);
   }
   return s;
+}
+
+std::size_t process_peak_rss_bytes() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t peak_kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long kib = 0;
+      if (std::sscanf(line + 6, "%llu", &kib) == 1)
+        peak_kib = static_cast<std::size_t>(kib);
+      break;
+    }
+  }
+  std::fclose(f);
+  return peak_kib * 1024;
+#else
+  return 0;
+#endif
 }
 
 }  // namespace sinet::obs

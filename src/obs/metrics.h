@@ -168,4 +168,9 @@ class MetricsRegistry {
   std::map<std::string, std::string> info_;
 };
 
+/// Peak resident-set size of this process in bytes (VmHWM on Linux),
+/// 0 where the platform offers no cheap equivalent. Used by the
+/// population-scale DtS gauges to prove a run's memory stayed bounded.
+[[nodiscard]] std::size_t process_peak_rss_bytes();
+
 }  // namespace sinet::obs

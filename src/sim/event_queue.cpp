@@ -1,6 +1,7 @@
 #include "sim/event_queue.h"
 
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -24,6 +25,30 @@ EventHandle EventQueue::schedule_in(SimTime delay, Callback cb) {
   if (delay < 0.0)
     throw std::invalid_argument("EventQueue: negative delay");
   return schedule_at(now_ + delay, std::move(cb));
+}
+
+EventHandle EventQueue::schedule_chain(std::vector<SimTime> times,
+                                       std::function<void(std::size_t)> cb) {
+  if (times.empty()) return kInvalidEvent;
+  if (!cb) throw std::invalid_argument("EventQueue: null chain callback");
+  for (std::size_t i = 1; i < times.size(); ++i)
+    if (times[i] < times[i - 1])
+      throw std::invalid_argument("EventQueue: chain times must be sorted");
+
+  // Shared walker state: each fired link runs the visitor, then schedules
+  // the next link. The chain holds exactly one pending entry at a time.
+  struct Chain {
+    std::vector<SimTime> times;
+    std::function<void(std::size_t)> visit;
+  };
+  auto chain = std::make_shared<Chain>(Chain{std::move(times), std::move(cb)});
+  auto fire = std::make_shared<std::function<void(std::size_t)>>();
+  *fire = [this, chain, fire](std::size_t i) {
+    chain->visit(i);
+    if (i + 1 < chain->times.size())
+      schedule_at(chain->times[i + 1], [fire, i] { (*fire)(i + 1); });
+  };
+  return schedule_at(chain->times.front(), [fire] { (*fire)(0); });
 }
 
 bool EventQueue::cancel(EventHandle h) {
@@ -76,6 +101,17 @@ void EventQueue::set_metrics(obs::MetricsRegistry* registry) {
                                  50);
 }
 
+std::size_t EventQueue::approx_memory_bytes() const noexcept {
+  // Hash-set nodes cost roughly the key plus two pointers of per-node
+  // overhead on mainstream implementations; the heap entries are stored
+  // inline in the underlying vector. Approximate by element counts — the
+  // point is an O(pending) bound, not an allocator audit.
+  constexpr std::size_t kSetNodeBytes =
+      sizeof(EventHandle) + 2 * sizeof(void*);
+  return heap_.size() * sizeof(Entry) +
+         (pending_.size() + cancelled_.size()) * kSetNodeBytes;
+}
+
 void EventQueue::publish_metrics() {
   if (metrics_ == nullptr) return;
   metrics_->counter("sim.event_queue.events_executed")
@@ -85,6 +121,10 @@ void EventQueue::publish_metrics() {
       .set(static_cast<double>(max_pending_));
   metrics_->gauge("sim.event_queue.pending")
       .set(static_cast<double>(pending_.size()));
+  // Gauge::set folds into the high-water mark, so the published max of
+  // this gauge bounds queue memory across the run.
+  metrics_->gauge("sim.event_queue.approx_bytes")
+      .set(static_cast<double>(approx_memory_bytes()));
 }
 
 std::size_t EventQueue::run_until(SimTime until) {

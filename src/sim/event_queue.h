@@ -46,6 +46,17 @@ class EventQueue {
   /// returns false. Returns true iff the event was pending.
   bool cancel(EventHandle h);
 
+  /// Batching helper for population-scale simulations: visit every time
+  /// in `times` (non-decreasing, first one >= now()) with `cb(index)`,
+  /// but keep only ONE pending heap entry for the whole chain — each
+  /// link schedules its successor when it fires. A per-satellite beacon
+  /// grid of millions of ticks therefore costs O(1) queue memory instead
+  /// of one Entry (~= 80 bytes + callback state) per tick. Returns the
+  /// handle of the first link (kInvalidEvent for an empty chain);
+  /// cancelling it stops the whole chain.
+  EventHandle schedule_chain(std::vector<SimTime> times,
+                             std::function<void(std::size_t)> cb);
+
   [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept {
     return pending_.size();
@@ -71,6 +82,13 @@ class EventQueue {
   [[nodiscard]] std::size_t max_pending() const noexcept {
     return max_pending_;
   }
+
+  /// Approximate bytes held by the queue's own containers: heap entries
+  /// (including tombstoned ones awaiting their turn at the top) plus the
+  /// pending/cancelled hash sets. Callback capture state is not visible
+  /// from here and is not counted — the figure bounds the queue's
+  /// bookkeeping, which is the part that scales with pending events.
+  [[nodiscard]] std::size_t approx_memory_bytes() const noexcept;
 
   /// Attach a metrics registry (nullptr detaches). While attached, each
   /// handler's wall time is sampled into the "sim.event_queue.handler_ms"

@@ -27,6 +27,17 @@ int to_int(const std::string& s, std::size_t line_no) {
   return static_cast<int>(to_double(s, line_no));
 }
 
+/// 64-bit counters (packet sequence numbers) must not round-trip through
+/// a double: above 2^53 the cast silently lands on the nearest even
+/// integer and two distinct sequences collide. Parse integral fields
+/// with strtoull instead.
+std::uint64_t to_u64(const std::string& s, std::size_t line_no) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str()) fail_row(line_no, "expected an integer");
+  return static_cast<std::uint64_t>(v);
+}
+
 /// Fixed-precision double for streaming. Keeps the printf-style rounding
 /// the readers expect while letting string fields of any length stream
 /// directly (a whole-row snprintf into char[256] silently truncated rows
@@ -121,7 +132,7 @@ std::vector<UplinkRecord> read_uplink_csv(std::istream& is) {
     const auto f = csv_split(line);
     if (f.size() != 10) fail_row(line_no, "expected 10 columns");
     UplinkRecord r;
-    r.sequence = static_cast<std::uint64_t>(to_double(f[0], line_no));
+    r.sequence = to_u64(f[0], line_no);
     r.node = f[1];
     r.payload_bytes = to_int(f[2], line_no);
     r.generated_unix_s = to_double(f[3], line_no);

@@ -35,8 +35,9 @@ class MetricsRegistry;
 namespace sinet::val {
 
 /// One validation scenario. The catalog (validation_scenario) defines
-/// "reference" (CI gate: 3-day scan + 2-day DtS run) and "quick"
-/// (unit-test scale: 1-day scan + half-day DtS run).
+/// "reference" (CI gate: 3-day scan + 2-day DtS run), "quick"
+/// (unit-test scale: 1-day scan + half-day DtS run) and "scale"
+/// (population scale: 1M-node / 1k-satellite aggregate-mode DtS day).
 struct ValidationScenario {
   std::string name;
   std::string constellation = "Tianqi";
@@ -47,9 +48,23 @@ struct ValidationScenario {
   double dts_days = 2.0;
   std::uint64_t seed = 42;
   std::size_t analytic_cdf_points = 512;
+
+  /// Population-scale overrides. When dts_nodes > 0 the orbit-scan arms
+  /// are skipped and the DtS arm runs net::scale_fleet_config(dts_nodes,
+  /// dts_sats, dts_sites) in aggregate mode, scoring the streaming
+  /// DtsAggregates (eligible PDR, mean wait) against the same analytic
+  /// ARQ/congestion and renewal baselines the paper scenarios use.
+  std::size_t dts_nodes = 0;
+  std::size_t dts_sats = 0;
+  std::size_t dts_sites = 0;
+  /// Renewal-wait baseline site subsample (scale path only): every
+  /// stride-th fleet site contributes its merged-window renewal wait.
+  /// Sites sit on an equal-area spiral and nodes are spread round-robin,
+  /// so a uniform stride is an unbiased site sample; 1 scans every site.
+  std::size_t renewal_site_stride = 16;
 };
 
-/// Look up a scenario by name ("reference", "quick"). Throws
+/// Look up a scenario by name ("reference", "quick", "scale"). Throws
 /// std::invalid_argument for unknown names.
 [[nodiscard]] ValidationScenario validation_scenario(
     const std::string& name);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -135,6 +136,70 @@ TEST(EventQueueStress, ManyEventsDrainCompletely) {
   EXPECT_EQ(count, 20000u);
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueStress, MillionPendingEventsStayBoundedAndTruthful) {
+  // Population-scale backstop: a million pending events, half of them
+  // cancelled mid-flight. The memory gauge must track the bookkeeping
+  // (entries + handle sets, no hidden per-event blowup) and empty() must
+  // stay truthful through lazy tombstone purging.
+  constexpr int kEvents = 1'000'000;
+  EventQueue q;
+  std::size_t fired = 0;
+  std::vector<sinet::sim::EventHandle> handles;
+  handles.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i)
+    handles.push_back(q.schedule_at(static_cast<double>(i % 9973),
+                                    [&fired] { ++fired; }));
+  EXPECT_EQ(q.pending(), static_cast<std::size_t>(kEvents));
+  EXPECT_EQ(q.max_pending(), static_cast<std::size_t>(kEvents));
+  const std::size_t full_bytes = q.approx_memory_bytes();
+  EXPECT_GT(full_bytes, static_cast<std::size_t>(kEvents) * 8);
+  // Bookkeeping only: well under 1 KiB per pending event.
+  EXPECT_LT(full_bytes, static_cast<std::size_t>(kEvents) * 1024);
+
+  for (int i = 0; i < kEvents; i += 2) EXPECT_TRUE(q.cancel(handles[i]));
+  EXPECT_EQ(q.pending(), static_cast<std::size_t>(kEvents) / 2);
+  EXPECT_FALSE(q.empty());
+
+  q.run_all();
+  EXPECT_EQ(fired, static_cast<std::size_t>(kEvents) / 2);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  // Tombstones and heap entries are gone after the drain.
+  EXPECT_LT(q.approx_memory_bytes(), full_bytes / 4);
+}
+
+TEST(EventQueueStress, ChainKeepsOnePendingEntryForMillionTicks) {
+  // The batching primitive behind the per-satellite timelines: a chain
+  // of a million ticks holds ONE pending heap entry, not a million.
+  constexpr std::size_t kTicks = 1'000'000;
+  EventQueue q;
+  std::vector<double> times;
+  times.reserve(kTicks);
+  for (std::size_t i = 0; i < kTicks; ++i)
+    times.push_back(static_cast<double>(i) * 0.25);
+  std::size_t visited = 0;
+  bool in_order = true;
+  q.schedule_chain(times, [&](std::size_t i) {
+    in_order = in_order && (i == visited);
+    ++visited;
+  });
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.max_pending(), 1u);
+  q.run_all();
+  EXPECT_EQ(visited, kTicks);
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(q.max_pending(), 1u) << "a chain must never fan out";
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueStress, ChainRejectsUnsortedTimes) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_chain({2.0, 1.0}, [](std::size_t) {}),
+               std::invalid_argument);
+  EXPECT_EQ(q.schedule_chain({}, [](std::size_t) {}),
+            sinet::sim::kInvalidEvent);
 }
 
 }  // namespace

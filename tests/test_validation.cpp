@@ -327,6 +327,53 @@ TEST(RunValidation, QuickScenarioPassesCommittedGate) {
   EXPECT_GE(gated.checks.size(), 10u);
 }
 
+TEST(RunValidation, ScaleScenarioCatalogEntry) {
+  const val::ValidationScenario sc = val::validation_scenario("scale");
+  EXPECT_EQ(sc.dts_nodes, 1'000'000u);
+  EXPECT_EQ(sc.dts_sats, 1'000u);
+  EXPECT_EQ(sc.dts_sites, 256u);
+  EXPECT_EQ(sc.dts_days, 1.0);
+  // Paper scenarios must keep the legacy full-report path.
+  EXPECT_EQ(val::validation_scenario("quick").dts_nodes, 0u);
+  EXPECT_EQ(val::validation_scenario("reference").dts_nodes, 0u);
+}
+
+TEST(RunValidation, MiniScaleScenarioScoresAggregates) {
+  // Unit-test-sized instance of the "scale" path: enough nodes to force
+  // aggregate mode (above the 4096 trace threshold), small fleet and
+  // horizon so the run stays in test budget. The committed "scale"
+  // baselines gate the full 1M-node instance in CI.
+  val::ValidationScenario sc = val::validation_scenario("scale");
+  sc.name = "scale-mini";
+  sc.dts_nodes = 6000;
+  sc.dts_sats = 22;
+  sc.dts_sites = 16;
+  sc.dts_days = 0.5;
+  sc.renewal_site_stride = 4;
+  const val::ValidationReport report = val::run_validation(sc);
+
+  // Aggregate mode: no per-packet exports, streaming scalars instead.
+  EXPECT_TRUE(report.windows.empty());
+  EXPECT_TRUE(report.link_records.empty());
+  EXPECT_GT(report.scalar_or_nan("dts.reports.generated"), 0.0);
+  EXPECT_GE(report.scalar_or_nan("dts.reports.eligible"), 1.0);
+  EXPECT_GT(report.scalar_or_nan("dts.reliability.measured"), 0.0);
+
+  const double abs_err = report.score_or_nan("dts.delivery.abs_err");
+  EXPECT_TRUE(std::isfinite(abs_err));
+  EXPECT_LT(abs_err, 0.3);
+  // Geometric renewal lower-bounds the DES wait in the scale path too.
+  EXPECT_LE(report.score_or_nan("dts.wait.renewal_bound_ratio"), 1.0);
+
+  // The gate machinery reads the new scores like any other scenario's.
+  val::BaselineSet b;
+  b.scenarios.push_back(
+      {"scale-mini",
+       {{"dts.delivery.abs_err", 0.5},
+        {"dts.wait.renewal_bound_ratio", 1.0}}});
+  EXPECT_TRUE(val::gate(report, b).passed);
+}
+
 TEST(RunValidation, FastModeQuickScenarioPassesSameGate) {
   // Acceptance criterion: the SIMD fast path passes the same gate as the
   // reference mode. The DtS arm follows the ambient mode; the four scan

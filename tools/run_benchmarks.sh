@@ -83,10 +83,20 @@ if [[ -x "$sinet_cli" ]]; then
                > /dev/null
 fi
 
+# Population-scale probe (docs/PERFORMANCE.md "Population scale"): a
+# 100k-node aggregate-mode day-fraction through `sinet dts`, captured as
+# key=value lines so throughput and peak RSS trend across PRs.
+if [[ -x "$sinet_cli" ]]; then
+  echo "== scale probe (sinet dts --nodes 100000 --sats 100)"
+  "$sinet_cli" dts --nodes 100000 --sats 100 --sites 64 --days 0.05 \
+               | tee "$out_dir/scale_probe.txt"
+fi
+
 # Merge: { "<bench binary>": <google-benchmark JSON>, ...,
 #          "run_report": <sinet.run_report.v1 JSON>,
 #          "run_report_fast": <the same under PropagationMode::kFast>,
 #          "ephemeris_ablation": <campaign-scan arm table incl. simd>,
+#          "scale_ablation": <DtS engine arms + 100k-node probe>,
 #          "validation": <divergence scores/scalars from sinet validate> }
 python3 - "$out_dir" "$repo_root/BENCH_RESULTS.json" <<'PY'
 import json, pathlib, sys
@@ -133,6 +143,35 @@ if arms:
         summary["speedup_vs_legacy"] = {
             arm: round(legacy / ms, 2) for arm, ms in arms.items() if ms}
     merged["ephemeris_ablation"] = summary
+
+# Distill the DtS engine ablation (legacy vs batched per node count) and
+# the 100k-node CLI probe into one "scale_ablation" block.
+scale = {}
+for row in merged.get("bench_ablation_scale", {}).get("benchmarks", []):
+    name = row.get("name", "")
+    if name.startswith("BM_ScaleEngine_"):
+        # "BM_ScaleEngine_Batched/50000/iterations:1" -> "Batched/50000"
+        arm = name[len("BM_ScaleEngine_"):]
+        arm = "/".join(arm.split("/")[:2])
+        scale.setdefault("wall_ms", {})[arm] = row.get("real_time")
+wall = scale.get("wall_ms", {})
+if "Legacy/2000" in wall and wall.get("Batched/2000"):
+    scale["speedup_vs_legacy_2000"] = round(
+        wall["Legacy/2000"] / wall["Batched/2000"], 2)
+probe = out_dir / "scale_probe.txt"
+if probe.exists():
+    kv = {}
+    for line in probe.read_text().splitlines():
+        if "=" in line and line.startswith("dts."):
+            k, _, v = line.partition("=")
+            try:
+                kv[k] = float(v)
+            except ValueError:
+                kv[k] = v
+    if kv:
+        scale["probe_100k"] = kv
+if scale:
+    merged["scale_ablation"] = scale
 
 with open(merged_path, "w") as fh:
     json.dump(merged, fh, indent=1, sort_keys=True)
