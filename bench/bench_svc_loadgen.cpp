@@ -1,0 +1,140 @@
+// Service SLO bench — the resident pass-prediction service under a
+// Zipf-skewed query load (docs/SERVICE.md).
+//
+// Spins up the full stack in-process (PassService on the 39-satellite
+// paper constellation + the TCP server), then drives it with the same
+// closed-loop load generator `sinet loadgen` uses: 10k distinct
+// observers with Zipf(1.1) popularity, an 80/10/10 request mix, N
+// concurrent connections. Reported SLOs: client-side RTT quantiles
+// (exact, sorted), server-side svc.request_latency_ms quantiles
+// (histogram), throughput, shed fraction and cache hit rate. The
+// google-benchmark counters carry the same numbers into
+// BENCH_RESULTS.json (distilled to "svc_loadgen" by
+// tools/run_benchmarks.sh), so the service's tail latency trends across
+// PRs next to the kernel wall-times.
+#include "bench_common.h"
+
+#include <memory>
+
+#include "core/scenario.h"
+#include "obs/metrics.h"
+#include "orbit/time.h"
+#include "svc/loadgen.h"
+#include "svc/server.h"
+#include "svc/service.h"
+
+namespace {
+
+using namespace sinet;
+
+// Full in-process stack: registry + warm service + listening server.
+// The fixed campaign epoch keeps the constellation geometry (and so the
+// pass answers) identical across runs and machines.
+struct LiveServer {
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<svc::PassService> service;
+  std::unique_ptr<svc::Server> server;
+
+  LiveServer() {
+    svc::ServiceOptions sopts;
+    sopts.constellation = "all";  // Tianqi + FOSSA + PICO + CSTP = 39
+    sopts.horizon_hours = 6.0;
+    sopts.epoch_unix_s = orbit::julian_to_unix(core::campaign_epoch_jd());
+    service = std::make_unique<svc::PassService>(sopts, &metrics);
+    svc::ServerOptions nopts;
+    nopts.workers = 2;
+    server = std::make_unique<svc::Server>(*service, nopts, &metrics);
+  }
+  ~LiveServer() {
+    server->request_stop();
+    server->wait();
+  }
+};
+
+svc::LoadgenResult run_burst(const LiveServer& live, std::size_t requests,
+                             std::size_t connections) {
+  svc::LoadgenOptions lopts;
+  lopts.port = live.server->port();
+  lopts.requests = requests;
+  lopts.connections = connections;
+  lopts.observers = 10000;  // acceptance floor: >=10k distinct observers
+  lopts.zipf_s = 1.1;
+  lopts.seed = sinet::bench::flags().seed;
+  return svc::run_loadgen(lopts);
+}
+
+double server_quantile_ms(const LiveServer& live, double q) {
+  const auto snap = live.metrics.snapshot();
+  const auto it = snap.histograms.find("svc.request_latency_ms");
+  if (it == snap.histograms.end()) return 0.0;
+  return obs::snapshot_quantile(it->second, q);
+}
+
+void reproduce() {
+  sinet::bench::banner("Service",
+                       "Pass prediction as a service: SLOs under Zipf load");
+
+  LiveServer live;
+  const auto r = run_burst(live, 5000, 4);
+  const auto stats = live.service->stats_payload();
+  const double hit_rate =
+      stats.cache_hits + stats.cache_misses > 0
+          ? static_cast<double>(stats.cache_hits) /
+                static_cast<double>(stats.cache_hits + stats.cache_misses)
+          : 0.0;
+
+  std::printf("  workload: %zu requests, 4 connections, 10000 observers "
+              "(Zipf 1.1), %zu satellites\n",
+              r.sent, static_cast<std::size_t>(stats.satellites));
+  std::printf("  %-28s %zu ok, %zu shed, %zu errors\n", "outcome:", r.ok,
+              r.shed, r.errors);
+  std::printf("  %-28s %.0f req/s over %.2f s\n", "throughput:",
+              r.throughput_rps, r.elapsed_s);
+  std::printf("  %-28s p50 %.2f  p90 %.2f  p99 %.2f  max %.2f ms\n",
+              "client RTT:", r.p50_ms, r.p90_ms, r.p99_ms, r.max_ms);
+  std::printf("  %-28s p50 %.2f  p99 %.2f ms\n", "server svc histogram:",
+              server_quantile_ms(live, 0.5), server_quantile_ms(live, 0.99));
+  std::printf("  %-28s %.1f%% (%zu hits / %zu misses)\n", "cache hit rate:",
+              100.0 * hit_rate, static_cast<std::size_t>(stats.cache_hits),
+              static_cast<std::size_t>(stats.cache_misses));
+  std::printf(
+      "\nreading: the Zipf head keeps the ContactWindowCache hot, so most "
+      "queries are answered from cached windows over the shared rolling "
+      "horizon; the tail (cold observers) pays one culled ephemeris scan.\n");
+}
+
+// Timed burst against a pre-warmed server (construction, initial horizon
+// advance and TCP setup are outside the timed region). Counters mirror
+// the SLO numbers into the benchmark JSON for BENCH_RESULTS.json.
+void BM_SvcLoadgen(benchmark::State& state) {
+  LiveServer live;
+  (void)run_burst(live, 200, 2);  // warm the cache head
+  svc::LoadgenResult r;
+  for (auto _ : state) {
+    r = run_burst(live, static_cast<std::size_t>(state.range(0)),
+                  static_cast<std::size_t>(state.range(1)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["throughput_rps"] = r.throughput_rps;
+  state.counters["client_p50_ms"] = r.p50_ms;
+  state.counters["client_p99_ms"] = r.p99_ms;
+  state.counters["server_p50_ms"] = server_quantile_ms(live, 0.5);
+  state.counters["server_p99_ms"] = server_quantile_ms(live, 0.99);
+  state.counters["ok"] = static_cast<double>(r.ok);
+  state.counters["shed"] = static_cast<double>(r.shed);
+  state.counters["errors"] = static_cast<double>(r.errors);
+  const auto stats = live.service->stats_payload();
+  const double lookups =
+      static_cast<double>(stats.cache_hits + stats.cache_misses);
+  state.counters["cache_hit_rate"] =
+      lookups > 0 ? static_cast<double>(stats.cache_hits) / lookups : 0.0;
+}
+BENCHMARK(BM_SvcLoadgen)
+    ->Args({2000, 2})
+    ->Args({2000, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+SINET_BENCH_MAIN(reproduce)

@@ -16,19 +16,37 @@
 //                                                      DtS fleet run
 //                                                      (machine-greppable
 //                                                      key=value output)
+//   sinet serve [--port P] [...]                       resident pass-
+//                                                      prediction service
+//                                                      (docs/SERVICE.md)
+//   sinet loadgen --port P [...]                       closed-loop load
+//                                                      generator against
+//                                                      a live serve
 //
 // Thin argument handling on purpose: each subcommand is three or four
 // calls into the public API, mirroring what downstream users would write.
+//
+// Signals: SIGINT/SIGTERM are blocked in every thread and consumed by a
+// dedicated sigwait() watcher. Long-running subcommands therefore never
+// lose a --metrics report to Ctrl-C: `serve` drains gracefully (exit 0,
+// report written on the normal path), everything else flushes the
+// registry with an `interrupted` info key and exits 128+signo.
+#include <pthread.h>
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <climits>
+#include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/active_experiment.h"
@@ -43,6 +61,9 @@
 #include "obs/run_report.h"
 #include "orbit/ephemeris.h"
 #include "orbit/tle_catalog.h"
+#include "svc/loadgen.h"
+#include "svc/server.h"
+#include "svc/service.h"
 #include "trace/csv.h"
 #include "val/validate.h"
 
@@ -54,6 +75,53 @@ namespace {
 // Run-metrics sink for the current invocation; null unless --metrics was
 // given. Subcommands thread it into the driver configs.
 obs::MetricsRegistry* g_metrics = nullptr;
+
+// State the signal watcher needs to flush a report from outside main's
+// stack frame. Set before subcommand dispatch.
+std::string g_metrics_path;
+std::string g_command;
+
+// Live server, when `serve` is running: the first SIGINT/SIGTERM turns
+// into a graceful drain instead of an exit.
+std::atomic<svc::Server*> g_server{nullptr};
+
+const char* signal_name(int sig) {
+  return sig == SIGINT ? "SIGINT" : sig == SIGTERM ? "SIGTERM" : "signal";
+}
+
+/// Write the --metrics report (no-op without --metrics). `interrupted`
+/// names the signal when the run did not finish on its own.
+void write_metrics_report(const char* interrupted) {
+  if (g_metrics == nullptr) return;
+  g_metrics->set_info("tool", "sinet_cli");
+  g_metrics->set_info("command", g_command);
+  if (interrupted != nullptr) g_metrics->set_info("interrupted", interrupted);
+  if (obs::write_json_file(g_metrics_path, g_metrics->snapshot()))
+    std::printf("metrics written to %s\n", g_metrics_path.c_str());
+  else
+    std::fprintf(stderr, "cannot write metrics to %s\n",
+                 g_metrics_path.c_str());
+}
+
+/// Runs in a detached thread with SIGINT/SIGTERM blocked everywhere
+/// else, so sigwait() here is the only consumer. Ordinary thread
+/// context, not a signal handler — locks and stdio are fine.
+void signal_watcher(sigset_t set) {
+  for (;;) {
+    int sig = 0;
+    if (sigwait(&set, &sig) != 0) return;
+    svc::Server* server = g_server.exchange(nullptr);
+    if (server != nullptr) {
+      // serve: begin graceful drain; main() writes the report after
+      // wait() returns. A second signal falls through to the exit path.
+      server->request_stop();
+      continue;
+    }
+    write_metrics_report(signal_name(sig));
+    std::fflush(nullptr);
+    std::_Exit(128 + sig);
+  }
+}
 
 /// A numeric argument that did not parse. main() prints the message and
 /// the usage text and exits 2 — never runs an experiment on garbage.
@@ -110,6 +178,16 @@ int usage() {
       "            [--seed S=42] [--engine auto|legacy|batched]\n"
       "            [--access aloha|scheduled] [--interval SECONDS]\n"
       "            [--threshold NODES]\n"
+      "  sinet serve [--port P=ephemeral] [--constellation NAME=all]\n"
+      "              [--horizon-hours H=24] [--retention-hours H=0.25]\n"
+      "              [--step SECONDS=30] [--min-elevation DEG=10]\n"
+      "              [--cache-entries N] [--cache-mb MB]\n"
+      "              [--epoch-unix S] [--time-scale X] [--workers N=2]\n"
+      "              [--queue-capacity N=256] [--advance-period S=1]\n"
+      "              [--max-seconds S=until-signal]\n"
+      "  sinet loadgen --port P [--host H=127.0.0.1] [--requests N=1000]\n"
+      "                [--connections N=4] [--observers N=10000]\n"
+      "                [--zipf S=1.1] [--seed S=42] [--timeout S=30]\n"
       "\n"
       "  --metrics <out.json>  write a structured run report (event-queue,\n"
       "                        thread-pool, pass-cache and campaign\n"
@@ -137,7 +215,14 @@ int usage() {
       "  Tianqi-like shell, equal-area node spiral) and prints\n"
       "  machine-greppable key=value result lines; above --threshold\n"
       "  nodes the run keeps streaming aggregates only, so memory stays\n"
-      "  bounded at millions of nodes (docs/PERFORMANCE.md).\n");
+      "  bounded at millions of nodes (docs/PERFORMANCE.md).\n"
+      "\n"
+      "  serve answers newline-delimited JSON pass-prediction queries\n"
+      "  (next_pass, passes_in_range, visibility_now, stats) from a warm\n"
+      "  rolling ephemeris horizon; SIGINT/SIGTERM drain gracefully and\n"
+      "  still write the --metrics report. loadgen replays a Zipf\n"
+      "  observer-popularity mix against a running serve and prints\n"
+      "  client-side RTT quantiles (docs/SERVICE.md).\n");
   return 2;
 }
 
@@ -498,9 +583,200 @@ int cmd_dts(int argc, char** argv) {
   return 0;
 }
 
+// Resident pass-prediction service (docs/SERVICE.md). Prints the bound
+// port as a key=value line (and flushes stdout) before blocking, so
+// scripts driving an ephemeral port can grep it from a pipe.
+int cmd_serve(int argc, char** argv) {
+  svc::ServiceOptions sopts;
+  svc::ServerOptions ropts;
+  double max_seconds = 0.0;  // 0 = run until SIGINT/SIGTERM
+  for (int i = 2; i < argc; ++i) {
+    const auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc)
+        throw UsageError(std::string(what) + ": missing value");
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0)
+      ropts.port = parse_int_arg(next("--port"), "--port");
+    else if (std::strcmp(argv[i], "--constellation") == 0)
+      sopts.constellation = next("--constellation");
+    else if (std::strcmp(argv[i], "--horizon-hours") == 0)
+      sopts.horizon_hours =
+          parse_double_arg(next("--horizon-hours"), "--horizon-hours");
+    else if (std::strcmp(argv[i], "--retention-hours") == 0)
+      sopts.retention_hours =
+          parse_double_arg(next("--retention-hours"), "--retention-hours");
+    else if (std::strcmp(argv[i], "--step") == 0)
+      sopts.step_s = parse_double_arg(next("--step"), "--step");
+    else if (std::strcmp(argv[i], "--min-elevation") == 0)
+      sopts.min_elevation_deg =
+          parse_double_arg(next("--min-elevation"), "--min-elevation");
+    else if (std::strcmp(argv[i], "--cache-entries") == 0)
+      sopts.cache_entries = static_cast<std::size_t>(
+          parse_int_arg(next("--cache-entries"), "--cache-entries"));
+    else if (std::strcmp(argv[i], "--cache-mb") == 0)
+      sopts.cache_bytes =
+          static_cast<std::size_t>(
+              parse_int_arg(next("--cache-mb"), "--cache-mb"))
+          << 20;
+    else if (std::strcmp(argv[i], "--epoch-unix") == 0)
+      sopts.epoch_unix_s =
+          parse_double_arg(next("--epoch-unix"), "--epoch-unix");
+    else if (std::strcmp(argv[i], "--time-scale") == 0)
+      sopts.time_scale =
+          parse_double_arg(next("--time-scale"), "--time-scale");
+    else if (std::strcmp(argv[i], "--workers") == 0)
+      ropts.workers = static_cast<unsigned>(
+          parse_int_arg(next("--workers"), "--workers"));
+    else if (std::strcmp(argv[i], "--queue-capacity") == 0)
+      ropts.queue_capacity = static_cast<std::size_t>(
+          parse_int_arg(next("--queue-capacity"), "--queue-capacity"));
+    else if (std::strcmp(argv[i], "--advance-period") == 0)
+      ropts.advance_period_s =
+          parse_double_arg(next("--advance-period"), "--advance-period");
+    else if (std::strcmp(argv[i], "--max-seconds") == 0)
+      max_seconds = parse_double_arg(next("--max-seconds"), "--max-seconds");
+    else
+      throw UsageError(std::string("serve: unknown argument '") + argv[i] +
+                       "'");
+  }
+  sopts.mode = orbit::propagation_mode();
+
+  obs::MetricsRegistry local;
+  obs::MetricsRegistry& reg = g_metrics != nullptr ? *g_metrics : local;
+  svc::PassService service(sopts, &reg);
+  svc::Server server(service, ropts, &reg);
+  g_server.store(&server);
+  std::printf("serve.port=%d\n", server.port());
+  std::printf("serve.satellites=%zu\n", service.satellite_count());
+  std::printf("serve.horizon_hours=%g\n", sopts.horizon_hours);
+  std::fflush(stdout);
+
+  // Optional wall-clock cap (CI smoke / tests): graceful stop after
+  // max_seconds unless a signal got there first.
+  std::mutex timer_mutex;
+  std::condition_variable timer_cv;
+  bool timer_cancel = false;
+  std::thread timer;
+  if (max_seconds > 0.0)
+    timer = std::thread([&] {
+      std::unique_lock<std::mutex> lock(timer_mutex);
+      timer_cv.wait_for(lock, std::chrono::duration<double>(max_seconds),
+                        [&] { return timer_cancel; });
+      svc::Server* mine = g_server.exchange(nullptr);
+      if (mine != nullptr) mine->request_stop();
+    });
+
+  server.wait();
+  g_server.store(nullptr);
+  if (timer.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(timer_mutex);
+      timer_cancel = true;
+    }
+    timer_cv.notify_all();
+    timer.join();
+  }
+
+  const svc::StatsPayload stats = service.stats_payload();
+  const obs::Snapshot snap = reg.snapshot();
+  const auto it = snap.histograms.find("svc.request_latency_ms");
+  const double p50 =
+      it != snap.histograms.end() ? obs::snapshot_quantile(it->second, 0.50)
+                                  : 0.0;
+  const double p99 =
+      it != snap.histograms.end() ? obs::snapshot_quantile(it->second, 0.99)
+                                  : 0.0;
+  std::printf("serve.requests=%llu\n",
+              static_cast<unsigned long long>(stats.requests));
+  std::printf("serve.errors=%llu\n",
+              static_cast<unsigned long long>(stats.errors));
+  std::printf("serve.shed=%llu\n",
+              static_cast<unsigned long long>(stats.shed));
+  std::printf("serve.cache_hits=%llu\n",
+              static_cast<unsigned long long>(stats.cache_hits));
+  std::printf("serve.cache_misses=%llu\n",
+              static_cast<unsigned long long>(stats.cache_misses));
+  std::printf("serve.cache_bytes=%llu\n",
+              static_cast<unsigned long long>(stats.cache_bytes));
+  std::printf("serve.horizon_advances=%llu\n",
+              static_cast<unsigned long long>(stats.horizon_advances));
+  std::printf("serve.horizon_resident_mb=%.2f\n",
+              static_cast<double>(stats.horizon_resident_bytes) /
+                  (1024.0 * 1024.0));
+  std::printf("serve.p50_ms=%.3f\n", p50);
+  std::printf("serve.p99_ms=%.3f\n", p99);
+  return 0;
+}
+
+// Closed-loop Zipf load generator (docs/SERVICE.md). Exit status stays 0
+// even when the server sheds: the SLO gates read the printed key=value
+// lines / --metrics report, not the exit code.
+int cmd_loadgen(int argc, char** argv) {
+  svc::LoadgenOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc)
+        throw UsageError(std::string(what) + ": missing value");
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0)
+      opts.port = parse_int_arg(next("--port"), "--port");
+    else if (std::strcmp(argv[i], "--host") == 0)
+      opts.host = next("--host");
+    else if (std::strcmp(argv[i], "--requests") == 0)
+      opts.requests = static_cast<std::size_t>(
+          parse_int_arg(next("--requests"), "--requests"));
+    else if (std::strcmp(argv[i], "--connections") == 0)
+      opts.connections = static_cast<std::size_t>(
+          parse_int_arg(next("--connections"), "--connections"));
+    else if (std::strcmp(argv[i], "--observers") == 0)
+      opts.observers = static_cast<std::size_t>(
+          parse_int_arg(next("--observers"), "--observers"));
+    else if (std::strcmp(argv[i], "--zipf") == 0)
+      opts.zipf_s = parse_double_arg(next("--zipf"), "--zipf");
+    else if (std::strcmp(argv[i], "--seed") == 0)
+      opts.seed = static_cast<std::uint64_t>(
+          parse_int_arg(next("--seed"), "--seed"));
+    else if (std::strcmp(argv[i], "--timeout") == 0)
+      opts.timeout_s = parse_double_arg(next("--timeout"), "--timeout");
+    else
+      throw UsageError(std::string("loadgen: unknown argument '") + argv[i] +
+                       "'");
+  }
+  if (opts.port <= 0)
+    throw UsageError("loadgen: --port is required (see `sinet serve`)");
+
+  obs::MetricsRegistry local;
+  obs::MetricsRegistry& reg = g_metrics != nullptr ? *g_metrics : local;
+  const svc::LoadgenResult res = svc::run_loadgen(opts, &reg);
+  std::printf("loadgen.sent=%zu\n", res.sent);
+  std::printf("loadgen.ok=%zu\n", res.ok);
+  std::printf("loadgen.shed=%zu\n", res.shed);
+  std::printf("loadgen.errors=%zu\n", res.errors);
+  std::printf("loadgen.elapsed_s=%.3f\n", res.elapsed_s);
+  std::printf("loadgen.throughput_rps=%.1f\n", res.throughput_rps);
+  std::printf("loadgen.p50_ms=%.3f\n", res.p50_ms);
+  std::printf("loadgen.p90_ms=%.3f\n", res.p90_ms);
+  std::printf("loadgen.p99_ms=%.3f\n", res.p99_ms);
+  std::printf("loadgen.max_ms=%.3f\n", res.max_ms);
+  std::printf("loadgen.mean_ms=%.3f\n", res.mean_ms);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Route SIGINT/SIGTERM through the sigwait() watcher: blocked here
+  // before any thread exists, so every later thread inherits the mask
+  // and the watcher is the sole consumer.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+  std::thread(signal_watcher, sigs).detach();
+
   // Strip the global flags (--metrics, --propagation-mode) before
   // subcommand dispatch so every subcommand keeps its positional
   // argument layout.
@@ -533,9 +809,13 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
 
   obs::MetricsRegistry registry;
-  if (!metrics_path.empty()) g_metrics = &registry;
+  if (!metrics_path.empty()) {
+    g_metrics = &registry;
+    g_metrics_path = metrics_path;
+  }
 
   const std::string cmd = argv[1];
+  g_command = cmd;
   int rc = 2;
   try {
     if (cmd == "passes") rc = cmd_passes(argc, argv);
@@ -547,6 +827,8 @@ int main(int argc, char** argv) {
     else if (cmd == "sweep") rc = cmd_sweep(argc, argv);
     else if (cmd == "validate") rc = cmd_validate(argc, argv);
     else if (cmd == "dts") rc = cmd_dts(argc, argv);
+    else if (cmd == "serve") rc = cmd_serve(argc, argv);
+    else if (cmd == "loadgen") rc = cmd_loadgen(argc, argv);
     else return usage();
   } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
@@ -556,14 +838,6 @@ int main(int argc, char** argv) {
     rc = 1;
   }
 
-  if (g_metrics != nullptr && rc == 0) {
-    registry.set_info("tool", "sinet_cli");
-    registry.set_info("command", cmd);
-    if (obs::write_json_file(metrics_path, registry.snapshot()))
-      std::printf("metrics written to %s\n", metrics_path.c_str());
-    else
-      std::fprintf(stderr, "cannot write metrics to %s\n",
-                   metrics_path.c_str());
-  }
+  if (rc == 0) write_metrics_report(nullptr);
   return rc;
 }

@@ -1,8 +1,10 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 namespace sinet::obs {
@@ -182,6 +184,35 @@ Snapshot MetricsRegistry::snapshot() const {
     s.histograms[name] = std::move(hs);
   }
   return s;
+}
+
+double snapshot_quantile(const HistogramSnapshot& h, double q) {
+  const std::uint64_t n = h.underflow + h.overflow +
+                          [&] {
+                            std::uint64_t in = 0;
+                            for (const std::uint64_t b : h.bins) in += b;
+                            return in;
+                          }();
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample among the n non-NaN samples (nearest-rank
+  // with interpolation inside the bin the rank lands in).
+  const double rank = q * static_cast<double>(n - 1);
+  double cumulative = static_cast<double>(h.underflow);
+  // Inside the underflow bucket everything is only known to be < lo;
+  // report lo (the bucket has no interior to interpolate over).
+  if (rank < cumulative) return h.lo;
+  const double width =
+      (h.hi - h.lo) / static_cast<double>(h.bins.empty() ? 1 : h.bins.size());
+  for (std::size_t i = 0; i < h.bins.size(); ++i) {
+    const double count = static_cast<double>(h.bins[i]);
+    if (count > 0.0 && rank < cumulative + count) {
+      const double frac = (rank - cumulative) / count;
+      return h.lo + width * (static_cast<double>(i) + frac);
+    }
+    cumulative += count;
+  }
+  return h.hi;  // overflow bucket: report the histogram's upper edge
 }
 
 std::size_t process_peak_rss_bytes() {

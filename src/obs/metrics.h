@@ -168,6 +168,17 @@ class MetricsRegistry {
   std::map<std::string, std::string> info_;
 };
 
+/// Quantile estimate from a fixed-bin histogram snapshot, for SLO
+/// reporting (p50/p99 of svc.* latency histograms). Finite samples are
+/// assumed uniform within their bin (linear interpolation); underflow
+/// samples count at `lo` and overflow samples at `hi`, so a gate's
+/// histogram must place `hi` at or above the SLO threshold — a tail
+/// quantile landing in the overflow bucket then reports `hi` and fails
+/// every gate at or below it instead of silently passing. NaN samples
+/// are excluded. `q` is clamped to [0, 1]. Returns NaN when the
+/// snapshot holds no non-NaN samples.
+[[nodiscard]] double snapshot_quantile(const HistogramSnapshot& h, double q);
+
 /// Peak resident-set size of this process in bytes (VmHWM on Linux),
 /// 0 where the platform offers no cheap equivalent. Used by the
 /// population-scale DtS gauges to prove a run's memory stayed bounded.

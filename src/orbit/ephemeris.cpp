@@ -15,6 +15,7 @@
 #include "obs/scoped_timer.h"
 #include "orbit/frames.h"
 #include "orbit/look_angles.h"
+#include "orbit/pair_scan.h"
 #include "orbit/simd.h"
 #include "orbit/tle.h"
 #include "sim/thread_pool.h"
@@ -81,6 +82,18 @@ ScanGrid::ScanGrid(JulianDate jd_start, JulianDate jd_end,
     times_.push_back(t);
     if (t >= jd_end) break;
   }
+}
+
+ScanGrid::ScanGrid(std::vector<JulianDate> times, double coarse_step_s)
+    : times_(std::move(times)) {
+  if (times_.empty())
+    throw std::invalid_argument("ScanGrid: empty sample times");
+  if (coarse_step_s <= 0.0)
+    throw std::invalid_argument("ScanGrid: nonpositive step");
+  start_ = times_.front();
+  end_ = times_.back();
+  step_s_ = coarse_step_s;
+  step_days_ = coarse_step_s / kSecondsPerDay;
 }
 
 EphemerisTable::EphemerisTable(const std::vector<const Sgp4*>& satellites,
@@ -259,34 +272,24 @@ double horizon_cone_half_angle_rad(const ObserverCullGeometry& observer,
 
 namespace {
 
-/// Scan state of one (satellite, observer) pair; persists across table
-/// chunks so culling skips can cross chunk boundaries.
-struct PairScan {
-  PairScan(const Sgp4& prop, const Geodetic& observer_location, double mask,
-           const ObserverCullGeometry* observer_geometry, double gamma_vis,
-           double omega_max, bool cull_enabled, std::size_t satellite_row)
-      : sampler(prop, observer_location), geometry(observer_geometry),
-        mask_deg(mask), gamma_vis_rad(gamma_vis),
-        omega_max_rad_s(omega_max), cull(cull_enabled), sat(satellite_row) {}
+/// Scan state of one (satellite, observer) pair — shared with the
+/// rolling-horizon engine via orbit/pair_scan.h so both walk the grid
+/// with literally the same code.
+using PairScan = PairScanState;
 
-  ElevationSampler sampler;
-  const ObserverCullGeometry* geometry;
-  double mask_deg;
-  double gamma_vis_rad;
-  double omega_max_rad_s;
-  bool cull;
-  std::size_t sat;
-
-  bool init_done = false;
-  bool prev_vis = false;
-  JulianDate window_start = 0.0;
-  std::size_t next_k = 1;  // next grid sample this pair must visit
-  std::vector<ContactWindow> windows;
-
-  std::uint64_t visited = 0;
-  std::uint64_t culled = 0;
-  std::uint64_t cull_decisions = 0;
-  std::uint64_t exact_evals = 0;
+/// Adapts one {grid, table} chunk pair to the PairScanState view
+/// concept. Indices are absolute grid samples in both members, so the
+/// adapter is a pure pass-through.
+struct GridTableView {
+  const ScanGrid* grid;
+  const EphemerisTable* table;
+  [[nodiscard]] JulianDate time(std::size_t k) const { return grid->time(k); }
+  [[nodiscard]] const Vec3& position(std::size_t s, std::size_t k) const {
+    return table->position_ecef_km(s, k);
+  }
+  [[nodiscard]] double distance(std::size_t s, std::size_t k) const {
+    return table->distance_km(s, k);
+  }
 };
 
 /// kFast scan unit: up to simd::kLanes pairs sharing one satellite, all
@@ -466,29 +469,7 @@ std::vector<std::vector<ContactWindow>> scan_pass_pairs(
     if (active.empty()) continue;
 
     table.build(first, count, pool, &row_start);
-
-    // Shared AOS/LOS/TCA transition handling: identical refinement
-    // primitives (and brackets) in both modes.
-    const auto handle_transition = [&](PairScan& p, bool vis, JulianDate t) {
-      if (vis && !p.prev_vis) {
-        p.window_start =
-            refine_mask_crossing(p.sampler, t - step_days, t, p.mask_deg,
-                                 opts.refine_tolerance_s);
-      } else if (!vis && p.prev_vis) {
-        const JulianDate window_end =
-            refine_mask_crossing(p.sampler, t - step_days, t, p.mask_deg,
-                                 opts.refine_tolerance_s);
-        ContactWindow w;
-        w.aos_jd = p.window_start;
-        w.los_jd = window_end;
-        const auto [tca, elev] =
-            refine_max_elevation(p.sampler, w.aos_jd, w.los_jd);
-        w.tca_jd = tca;
-        w.max_elevation_deg = elev;
-        p.windows.push_back(w);
-      }
-      p.prev_vis = vis;
-    };
+    const GridTableView view{&grid, &table};
 
     // kFast: one table lookup + one fused kernel per block sample; the
     // cull compare and skip margin live in the cosine domain (acos is
@@ -500,14 +481,8 @@ std::vector<std::vector<ContactWindow>> scan_pass_pairs(
         simd::Vi vis0{0, 0, 0, 0};
         fused_visibility(b.frames, table.position_ecef_km(b.sat, 0),
                          b.sin_mask, &vis0);
-        for (std::size_t l = 0; l < b.lanes; ++l) {
-          PairScan& p = scans[b.pair[l]];
-          p.prev_vis = vis0[l] != 0;
-          p.window_start = p.prev_vis ? grid.time(0) : 0.0;
-          p.init_done = true;
-          ++p.visited;
-          ++p.exact_evals;
-        }
+        for (std::size_t l = 0; l < b.lanes; ++l)
+          scans[b.pair[l]].record_init(vis0[l] != 0, grid.time(0));
         b.init_done = true;
       }
       while (b.next_k < chunk_end) {
@@ -547,7 +522,8 @@ std::vector<std::vector<ContactWindow>> scan_pass_pairs(
             ++p.cull_decisions;
           else
             ++p.exact_evals;
-          handle_transition(p, vis_mask[l] != 0, t);
+          p.record_sample(vis_mask[l] != 0, t, step_days,
+                          opts.refine_tolerance_s);
         }
         b.next_k = k + advance;
       }
@@ -555,54 +531,10 @@ std::vector<std::vector<ContactWindow>> scan_pass_pairs(
 
     const auto scan_one = [&](std::size_t a) {
       PairScan& p = scans[active[a]];
-      if (!p.init_done) {
-        // Sample 0, exactly as predict_passes evaluates it.
-        const double el0 = elevation_from_ecef(
-            p.sampler.frame(), table.position_ecef_km(p.sat, 0));
-        p.prev_vis = el0 >= p.mask_deg;
-        p.window_start = p.prev_vis ? grid.time(0) : 0.0;
-        p.init_done = true;
-        ++p.visited;
-        ++p.exact_evals;
-      }
-      while (p.next_k < chunk_end) {
-        const std::size_t k = p.next_k;
-        const JulianDate t = grid.time(k);
-        const Vec3& pos = table.position_ecef_km(p.sat, k);
-
-        bool vis = false;
-        bool decided = false;
-        std::size_t advance = 1;
-        if (p.cull) {
-          const double d = table.distance_km(p.sat, k);
-          const double cos_gamma = pos.dot(p.geometry->unit_ecef) / d;
-          const double gamma =
-              std::acos(std::clamp(cos_gamma, -1.0, 1.0));
-          if (gamma > p.gamma_vis_rad) {
-            // Provably below the mask here, and for at least margin_s:
-            // the geocentric angle cannot close faster than omega_max.
-            decided = true;
-            ++p.cull_decisions;
-            const double margin_s =
-                (gamma - p.gamma_vis_rad) / p.omega_max_rad_s;
-            const double steps = margin_s / step_s;
-            if (steps > 1.0)
-              advance = std::min(static_cast<std::size_t>(steps), total - k);
-          }
-        }
-        if (!decided) {
-          ++p.exact_evals;
-          vis = elevation_from_ecef(p.sampler.frame(), pos) >= p.mask_deg;
-        }
-        ++p.visited;
-        p.culled += advance - 1;
-
-        // Identical transition handling (and refinement brackets) to
-        // predict_passes; skipped samples are all proven invisible while
-        // prev_vis is false, so no transition can hide inside a skip.
-        handle_transition(p, vis, t);
-        p.next_k = k + advance;
-      }
+      // Sample 0 (init), then the shared grid walk from pair_scan.h.
+      if (!p.init_done) p.init(view, 0);
+      p.scan(view, chunk_end, total, step_days, step_s,
+             opts.refine_tolerance_s);
     };
     if (mode == PropagationMode::kFast) {
       if (pool != nullptr && active.size() > 1) {
@@ -620,18 +552,7 @@ std::vector<std::vector<ContactWindow>> scan_pass_pairs(
   }
 
   // Windows still open at jd_end: truncate, exactly like predict_passes.
-  const auto finalize_one = [&](std::size_t i) {
-    PairScan& p = scans[i];
-    if (!p.prev_vis) return;
-    ContactWindow w;
-    w.aos_jd = p.window_start;
-    w.los_jd = jd_end;
-    const auto [tca, elev] =
-        refine_max_elevation(p.sampler, w.aos_jd, w.los_jd);
-    w.tca_jd = tca;
-    w.max_elevation_deg = elev;
-    p.windows.push_back(w);
-  };
+  const auto finalize_one = [&](std::size_t i) { scans[i].finalize(jd_end); };
   if (pool != nullptr) {
     pool->parallel_for(scans.size(), finalize_one);
   } else {
@@ -668,6 +589,221 @@ std::vector<std::vector<ContactWindow>> scan_pass_pairs(
 
   for (std::size_t i = 0; i < scans.size(); ++i)
     out[i] = std::move(scans[i].windows);
+  return out;
+}
+
+/// One retained horizon segment: its slice of the rolling grid plus the
+/// shared ephemeris over it, built eagerly at append time. `first` is
+/// the absolute index of grid sample 0 (chunk boundaries are always
+/// multiples of chunk_samples, so absolute -> chunk lookup is a divide).
+struct RollingEphemeris::Chunk {
+  Chunk(const std::vector<const Sgp4*>& satellites,
+        std::vector<JulianDate> times, double step_s, std::size_t first_abs,
+        PropagationMode mode, sim::ThreadPool* pool)
+      : grid(std::move(times), step_s), table(satellites, grid, mode),
+        first(first_abs) {
+    table.build(0, grid.size(), pool);
+  }
+
+  ScanGrid grid;
+  EphemerisTable table;
+  std::size_t first;
+};
+
+namespace {
+
+/// Adapts the retained chunk deque to the PairScanState view concept:
+/// absolute sample index -> owning chunk -> local table lookup.
+struct RollingView {
+  const RollingEphemeris* engine;
+  [[nodiscard]] JulianDate time(std::size_t k) const {
+    return engine->sample_time(k);
+  }
+  [[nodiscard]] const Vec3& position(std::size_t s, std::size_t k) const {
+    return engine->sample_position_ecef_km(s, k);
+  }
+  [[nodiscard]] double distance(std::size_t s, std::size_t k) const {
+    return engine->sample_distance_km(s, k);
+  }
+};
+
+}  // namespace
+
+RollingEphemeris::RollingEphemeris(std::vector<const Sgp4*> satellites,
+                                   JulianDate anchor_jd)
+    : RollingEphemeris(std::move(satellites), anchor_jd, Options{}) {}
+
+RollingEphemeris::RollingEphemeris(std::vector<const Sgp4*> satellites,
+                                   JulianDate anchor_jd, const Options& opts)
+    : satellites_(std::move(satellites)), opts_(opts), anchor_jd_(anchor_jd),
+      step_days_(opts.coarse_step_s / kSecondsPerDay) {
+  if (opts_.coarse_step_s <= 0.0)
+    throw std::invalid_argument("RollingEphemeris: nonpositive step");
+  if (opts_.chunk_samples == 0)
+    throw std::invalid_argument("RollingEphemeris: zero chunk_samples");
+  for (const Sgp4* sat : satellites_)
+    if (sat == nullptr)
+      throw std::invalid_argument("RollingEphemeris: null propagator");
+  bounds_.resize(satellites_.size());
+  if (opts_.cull)
+    for (std::size_t s = 0; s < satellites_.size(); ++s)
+      bounds_[s] = satellite_cull_bounds(*satellites_[s]);
+}
+
+RollingEphemeris::~RollingEphemeris() = default;
+
+void RollingEphemeris::append_chunk(sim::ThreadPool* pool,
+                                    AdvanceStats* stats) {
+  std::vector<JulianDate> times;
+  times.reserve(opts_.chunk_samples);
+  if (next_index_ == 0) {
+    last_time_ = anchor_jd_;
+    times.push_back(anchor_jd_);
+  }
+  // The exact accumulation a fresh full-span ScanGrid performs — NOT
+  // anchor + k * step. Continuing it from the last retained sample is
+  // what makes retained times bitwise equal to a fresh grid's.
+  JulianDate jd = last_time_;
+  while (times.size() < opts_.chunk_samples) {
+    jd += step_days_;
+    times.push_back(jd);
+  }
+  last_time_ = jd;
+  const std::size_t first_abs = next_index_;
+  next_index_ += times.size();
+  auto chunk = std::make_unique<Chunk>(satellites_, std::move(times),
+                                       opts_.coarse_step_s, first_abs,
+                                       opts_.mode, pool);
+  propagations_ += chunk->table.propagations();
+  if (stats != nullptr) {
+    ++stats->chunks_appended;
+    stats->propagations += chunk->table.propagations();
+  }
+  chunks_.push_back(std::move(chunk));
+}
+
+RollingEphemeris::AdvanceStats RollingEphemeris::advance(
+    JulianDate retire_before, JulianDate cover_until, sim::ThreadPool* pool) {
+  AdvanceStats stats;
+  while (chunks_.empty() || last_time_ < cover_until)
+    append_chunk(pool, &stats);
+  // Retire from the trailing edge: the front chunk goes once the NEXT
+  // chunk still covers retire_before, so the horizon never loses "now".
+  while (chunks_.size() > 1 && chunks_[1]->grid.start() <= retire_before) {
+    chunks_.pop_front();
+    ++base_chunk_;
+    ++stats.chunks_retired;
+  }
+  return stats;
+}
+
+JulianDate RollingEphemeris::start_time() const {
+  if (chunks_.empty())
+    throw std::logic_error("RollingEphemeris: empty horizon");
+  return chunks_.front()->grid.start();
+}
+
+JulianDate RollingEphemeris::end_time() const {
+  if (chunks_.empty())
+    throw std::logic_error("RollingEphemeris: empty horizon");
+  return chunks_.back()->grid.end();
+}
+
+std::size_t RollingEphemeris::base_index() const noexcept {
+  return chunks_.empty() ? next_index_ : chunks_.front()->first;
+}
+
+const RollingEphemeris::Chunk& RollingEphemeris::chunk_for(
+    std::size_t k) const {
+  if (k < base_index() || k >= next_index_)
+    throw std::out_of_range("RollingEphemeris: sample index outside horizon");
+  return *chunks_[k / opts_.chunk_samples - base_chunk_];
+}
+
+JulianDate RollingEphemeris::sample_time(std::size_t k) const {
+  const Chunk& c = chunk_for(k);
+  return c.grid.time(k - c.first);
+}
+
+const Vec3& RollingEphemeris::sample_position_ecef_km(std::size_t s,
+                                                      std::size_t k) const {
+  const Chunk& c = chunk_for(k);
+  return c.table.position_ecef_km(s, k - c.first);
+}
+
+double RollingEphemeris::sample_distance_km(std::size_t s,
+                                            std::size_t k) const {
+  const Chunk& c = chunk_for(k);
+  return c.table.distance_km(s, k - c.first);
+}
+
+std::size_t RollingEphemeris::nearest_index(JulianDate jd) const {
+  const std::size_t base = base_index();
+  if (jd <= start_time()) return base;
+  if (jd >= last_time_) return next_index_ - 1;
+  const double offset = (jd - start_time()) / step_days_;
+  return std::min(base + static_cast<std::size_t>(offset + 0.5),
+                  next_index_ - 1);
+}
+
+std::size_t RollingEphemeris::resident_bytes() const noexcept {
+  const std::size_t n = satellites_.size();
+  std::size_t bytes = 0;
+  for (const auto& c : chunks_) {
+    const std::size_t m = c->grid.size();
+    bytes += m * sizeof(JulianDate)                 // grid times
+             + m * sizeof(double)                   // shared GMST
+             + n * m * (sizeof(Vec3) + sizeof(double));  // positions+dists
+  }
+  return bytes;
+}
+
+std::vector<ContactWindow> RollingEphemeris::scan_satellite(
+    std::size_t satellite, const GridObserver& observer,
+    const PassPredictionOptions& opts) const {
+  if (satellite >= satellites_.size())
+    throw std::out_of_range("RollingEphemeris: satellite index out of range");
+  if (chunks_.empty())
+    throw std::logic_error(
+        "RollingEphemeris: scan on empty horizon (advance() first)");
+  if (opts.coarse_step_s != opts_.coarse_step_s)
+    throw std::invalid_argument(
+        "RollingEphemeris: query coarse_step_s must match the rolling grid");
+
+  const double mask = std::isnan(observer.min_elevation_deg)
+                          ? opts.min_elevation_deg
+                          : observer.min_elevation_deg;
+  // Same per-pair cull setup as scan_pass_pairs.
+  ObserverCullGeometry geometry;
+  double gamma_vis = kPi;
+  double omega_max = 0.0;
+  bool cull_enabled = false;
+  if (opts_.cull) {
+    geometry = observer_cull_geometry(observer.location);
+    if (bounds_[satellite].valid) {
+      gamma_vis = horizon_cone_half_angle_rad(
+          geometry, bounds_[satellite].max_distance_km, mask);
+      omega_max = bounds_[satellite].max_angular_rate_rad_s;
+      cull_enabled = gamma_vis < kPi && omega_max > 0.0;
+    }
+  }
+
+  PairScanState p(*satellites_[satellite], observer.location, mask, &geometry,
+                  gamma_vis, omega_max, cull_enabled, satellite);
+  const RollingView view{this};
+  const std::size_t end = next_index_;
+  p.init(view, base_index());
+  p.scan(view, end, end, step_days_, opts_.coarse_step_s,
+         opts.refine_tolerance_s);
+  p.finalize(end_time());
+  return std::move(p.windows);
+}
+
+std::vector<std::vector<ContactWindow>> RollingEphemeris::scan_observer(
+    const GridObserver& observer, const PassPredictionOptions& opts) const {
+  std::vector<std::vector<ContactWindow>> out(satellites_.size());
+  for (std::size_t s = 0; s < satellites_.size(); ++s)
+    out[s] = scan_satellite(s, observer, opts);
   return out;
 }
 

@@ -42,6 +42,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -116,6 +117,14 @@ inline constexpr double kCullAngularPadRad = 1e-5;
 class ScanGrid {
  public:
   ScanGrid(JulianDate jd_start, JulianDate jd_end, double coarse_step_s);
+
+  /// Wrap explicitly provided sample times. `times` must be the
+  /// continuation of an existing `jd += step_days` accumulation:
+  /// RollingEphemeris uses this to extend a rolling grid chunk-by-chunk
+  /// without re-anchoring the float accumulation (which would break
+  /// bit-parity with a fresh full-span grid). Throws on empty times or
+  /// nonpositive step.
+  ScanGrid(std::vector<JulianDate> times, double coarse_step_s);
 
   [[nodiscard]] std::size_t size() const noexcept { return times_.size(); }
   [[nodiscard]] JulianDate time(std::size_t k) const { return times_[k]; }
@@ -260,5 +269,129 @@ struct EphemerisScanOptions {
     JulianDate jd_end, const PassPredictionOptions& opts = {},
     const EphemerisScanOptions& scan_opts = {}, unsigned threads = 0,
     obs::MetricsRegistry* metrics = nullptr);
+
+/// Rolling-horizon shared-ephemeris store for the resident query service
+/// (src/svc, `sinet serve`): per-satellite ECEF states over a window
+/// [start_time(), end_time()] that advances incrementally. advance()
+/// appends fixed-size grid chunks at the leading edge and retires wholly
+/// expired chunks at the trailing edge — the retained span is never
+/// rescanned. Appended chunks continue the exact `jd += step_days` float
+/// accumulation from the last retained sample, so the retained grid
+/// times are bitwise what a fresh ScanGrid over the same span would
+/// produce, and scan_satellite windows are bit-identical to
+/// scan_pass_pairs — and therefore predict_passes — over
+/// [start_time(), end_time()] in kReference mode (parity test:
+/// test_ephemeris.cpp). Not internally synchronized: the service layer
+/// serializes advance() against queries (svc::PassService uses a
+/// shared_mutex — many concurrent scans, exclusive advance).
+class RollingEphemeris {
+ public:
+  struct Options {
+    double coarse_step_s = 30.0;       ///< grid step; queries must match
+    std::size_t chunk_samples = 2048;  ///< grid samples per appended chunk
+    bool cull = true;                  ///< conservative geometric culling
+    /// Evaluation mode (same contract as EphemerisScanOptions::mode).
+    PropagationMode mode = propagation_mode();
+  };
+  struct AdvanceStats {
+    std::size_t chunks_appended = 0;
+    std::size_t chunks_retired = 0;
+    std::uint64_t propagations = 0;
+  };
+
+  /// `satellites` are borrowed and must outlive the engine. The horizon
+  /// starts empty at `anchor_jd`; call advance() to populate it. (Two
+  /// overloads instead of `opts = {}` — a nested-class default argument
+  /// cannot use Options' default member initializers before the
+  /// enclosing class is complete.)
+  RollingEphemeris(std::vector<const Sgp4*> satellites, JulianDate anchor_jd);
+  RollingEphemeris(std::vector<const Sgp4*> satellites, JulianDate anchor_jd,
+                   const Options& opts);
+  ~RollingEphemeris();
+  RollingEphemeris(const RollingEphemeris&) = delete;
+  RollingEphemeris& operator=(const RollingEphemeris&) = delete;
+
+  /// Extend the leading edge chunk-by-chunk until end_time() covers
+  /// `cover_until`, then retire leading chunks no longer needed to cover
+  /// `retire_before` (the chunk containing retire_before is always kept,
+  /// so queries at "now" stay answerable). `pool` non-null fans the
+  /// per-satellite fills out across it.
+  AdvanceStats advance(JulianDate retire_before, JulianDate cover_until,
+                       sim::ThreadPool* pool = nullptr);
+
+  [[nodiscard]] bool empty() const noexcept { return chunks_.empty(); }
+  [[nodiscard]] JulianDate anchor() const noexcept { return anchor_jd_; }
+  /// First / last retained sample time. Throw when the horizon is empty.
+  [[nodiscard]] JulianDate start_time() const;
+  [[nodiscard]] JulianDate end_time() const;
+  [[nodiscard]] std::size_t satellite_count() const noexcept {
+    return satellites_.size();
+  }
+  [[nodiscard]] const Sgp4& satellite(std::size_t s) const {
+    return *satellites_[s];
+  }
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunks_.size();
+  }
+  /// Retained samples = end_index() - base_index().
+  [[nodiscard]] std::size_t sample_count() const noexcept {
+    return next_index_ - base_index();
+  }
+  /// Absolute retained-sample index range [base_index(), end_index()).
+  /// Indices are absolute since the anchor — they stay stable across
+  /// retirement, which is what keeps cull skip-ahead clamps identical to
+  /// a fresh scan's.
+  [[nodiscard]] std::size_t base_index() const noexcept;
+  [[nodiscard]] std::size_t end_index() const noexcept { return next_index_; }
+  /// Grid time / satellite ECEF position / geocentric distance at
+  /// absolute retained sample `k`; throw std::out_of_range outside
+  /// [base_index(), end_index()).
+  [[nodiscard]] JulianDate sample_time(std::size_t k) const;
+  [[nodiscard]] const Vec3& sample_position_ecef_km(std::size_t s,
+                                                    std::size_t k) const;
+  [[nodiscard]] double sample_distance_km(std::size_t s, std::size_t k) const;
+  /// Retained sample nearest `jd` (clamped to the horizon; nearest up to
+  /// the sub-microsecond float-accumulation drift of the grid).
+  [[nodiscard]] std::size_t nearest_index(JulianDate jd) const;
+
+  /// SGP4 propagations performed across all advances (retirement frees
+  /// memory but never un-counts work).
+  [[nodiscard]] std::uint64_t propagations() const noexcept {
+    return propagations_;
+  }
+  /// Approximate bytes held by the retained grid + ephemeris tables.
+  [[nodiscard]] std::size_t resident_bytes() const noexcept;
+
+  /// Scan one satellite against one observer over the whole retained
+  /// horizon. kReference windows are bit-identical to predict_passes over
+  /// [start_time(), end_time()]. A NaN observer mask falls back to
+  /// opts.min_elevation_deg. Throws std::invalid_argument when
+  /// opts.coarse_step_s differs from the rolling grid step (a silently
+  /// different grid would break the parity contract), std::logic_error
+  /// on an empty horizon.
+  [[nodiscard]] std::vector<ContactWindow> scan_satellite(
+      std::size_t satellite, const GridObserver& observer,
+      const PassPredictionOptions& opts) const;
+  /// All satellites against one observer; result indexed by satellite.
+  [[nodiscard]] std::vector<std::vector<ContactWindow>> scan_observer(
+      const GridObserver& observer, const PassPredictionOptions& opts) const;
+
+ private:
+  struct Chunk;
+
+  void append_chunk(sim::ThreadPool* pool, AdvanceStats* stats);
+  [[nodiscard]] const Chunk& chunk_for(std::size_t k) const;
+
+  std::vector<const Sgp4*> satellites_;
+  Options opts_;
+  JulianDate anchor_jd_;
+  double step_days_;
+  std::vector<SatelliteCullBounds> bounds_;
+  std::deque<std::unique_ptr<Chunk>> chunks_;
+  std::size_t base_chunk_ = 0;  ///< absolute chunk number of chunks_[0]
+  std::size_t next_index_ = 0;  ///< absolute sample index of the next append
+  JulianDate last_time_ = 0.0;  ///< last appended sample time
+  std::uint64_t propagations_ = 0;
+};
 
 }  // namespace sinet::orbit

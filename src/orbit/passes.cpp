@@ -228,11 +228,24 @@ ContactWindowCache::Key ContactWindowCache::make_key(
 std::vector<ContactWindow> ContactWindowCache::get_or_predict(
     const Tle& tle, const Geodetic& observer, JulianDate jd_start,
     JulianDate jd_end, const PassPredictionOptions& opts) {
-  // predict_passes() below always runs the scalar reference propagator,
-  // so this path keys (and stays mutually visible) with kReference.
-  const Key key = make_key(
-      tle, observer, jd_start, jd_end, opts,
-      static_cast<double>(static_cast<int>(PropagationMode::kReference)));
+  // predict_passes() always runs the scalar reference propagator, so
+  // this path keys (and stays mutually visible) with kReference.
+  return get_or_compute(tle, observer, jd_start, jd_end, opts,
+                        PropagationMode::kReference, [&] {
+                          const Sgp4 prop(tle);
+                          return predict_passes(prop, observer, jd_start,
+                                                jd_end, opts);
+                        });
+}
+
+std::vector<ContactWindow> ContactWindowCache::get_or_compute(
+    const Tle& tle, const Geodetic& observer, JulianDate jd_start,
+    JulianDate jd_end, const PassPredictionOptions& opts,
+    PropagationMode mode_slot,
+    const std::function<std::vector<ContactWindow>()>& compute) {
+  const Key key =
+      make_key(tle, observer, jd_start, jd_end, opts,
+               static_cast<double>(static_cast<int>(mode_slot)));
   std::shared_ptr<InFlight> flight;
   bool owner = false;
   {
@@ -267,8 +280,7 @@ std::vector<ContactWindow> ContactWindowCache::get_or_predict(
 
   std::vector<ContactWindow> windows;
   try {
-    const Sgp4 prop(tle);
-    windows = predict_passes(prop, observer, jd_start, jd_end, opts);
+    windows = compute();
   } catch (...) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -308,21 +320,33 @@ void ContactWindowCache::insert(const Key& key,
   it->second.windows = windows;
   recency_.push_back(key);
   it->second.recency = std::prev(recency_.end());
-  while (entries_.size() > max_entries_ && !recency_.empty()) {
-    entries_.erase(recency_.front());
+  it->second.bytes = kEntryOverheadBytes +
+                     it->second.windows.capacity() * sizeof(ContactWindow);
+  bytes_ += it->second.bytes;
+  evict_over_budget();
+}
+
+void ContactWindowCache::evict_over_budget() {
+  while (!recency_.empty() &&
+         (entries_.size() > max_entries_ ||
+          (max_bytes_ != 0 && bytes_ > max_bytes_ && entries_.size() > 1))) {
+    const auto victim = entries_.find(recency_.front());
+    bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
     recency_.pop_front();
   }
 }
 
 ContactWindowCache::Stats ContactWindowCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return {hits_, misses_, entries_.size()};
+  return {hits_, misses_, entries_.size(), bytes_};
 }
 
 void ContactWindowCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   recency_.clear();
+  bytes_ = 0;
   hits_ = 0;
   misses_ = 0;
 }
@@ -426,12 +450,16 @@ predict_passes_grid_cached(const std::vector<Tle>& tles,
       out[p.satellite][p.observer] = std::move(computed[m]);
     }
   }
-  // Single entries-gauge refresh, after any insertions — the pre-compute
-  // set this used to do was redundant on the miss path and is folded
-  // into this one, which also covers the all-hits early path.
-  if (metrics != nullptr && cache != nullptr)
+  // Single entries/bytes-gauge refresh, after any insertions — the
+  // pre-compute set this used to do was redundant on the miss path and
+  // is folded into this one, which also covers the all-hits early path.
+  if (metrics != nullptr && cache != nullptr) {
+    const ContactWindowCache::Stats cs = cache->stats();
     metrics->gauge("orbit.pass_cache.entries")
-        .set(static_cast<double>(cache->stats().entries));
+        .set(static_cast<double>(cs.entries));
+    metrics->gauge("orbit.pass_cache.bytes")
+        .set(static_cast<double>(cs.bytes));
+  }
   return out;
 }
 

@@ -7,13 +7,14 @@
 
 #include <array>
 #include <condition_variable>
-#include <utility>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "orbit/geodetic.h"
@@ -26,6 +27,11 @@ class MetricsRegistry;
 }  // namespace sinet::obs
 
 namespace sinet::orbit {
+
+// Defined in orbit/ephemeris.h; forward-declared here (fixed underlying
+// type) so the cache API can carry the mode slot without a circular
+// include — ephemeris.h includes this header.
+enum class PropagationMode : int;
 
 /// One predicted contact window.
 struct ContactWindow {
@@ -176,8 +182,15 @@ predict_passes_grid(const std::vector<const Sgp4*>& satellites,
 /// of each running predict_passes.
 class ContactWindowCache {
  public:
-  explicit ContactWindowCache(std::size_t max_entries = 4096)
-      : max_entries_(max_entries) {}
+  /// `max_bytes` bounds the resident footprint of the cached windows
+  /// (entry payloads plus fixed per-entry bookkeeping, see
+  /// Stats::bytes); 0 = unbounded. Entry-count and byte budgets evict
+  /// independently — whichever is exceeded first takes the LRU victim.
+  /// A resident server (src/svc) runs with a byte budget so its memory
+  /// stays observable and bounded over days of rolling-horizon churn.
+  explicit ContactWindowCache(std::size_t max_entries = 4096,
+                              std::size_t max_bytes = 0)
+      : max_entries_(max_entries), max_bytes_(max_bytes) {}
 
   /// Return the cached windows for (tle, observer, span, opts), computing
   /// and inserting them on a miss. Waiting on another caller's in-flight
@@ -188,13 +201,37 @@ class ContactWindowCache {
       const Tle& tle, const Geodetic& observer, JulianDate jd_start,
       JulianDate jd_end, const PassPredictionOptions& opts = {});
 
+  /// Same keying, single-flight and LRU behavior as get_or_predict, but
+  /// the miss path runs `compute` instead of predict_passes. This is how
+  /// the pass-prediction service (src/svc) serves misses from its warm
+  /// rolling-horizon ephemeris while sharing one cache (and one set of
+  /// keys) with the batch prediction APIs: `mode_slot` must say which
+  /// propagation mode produced the windows so fast/reference results
+  /// never alias.
+  [[nodiscard]] std::vector<ContactWindow> get_or_compute(
+      const Tle& tle, const Geodetic& observer, JulianDate jd_start,
+      JulianDate jd_end, const PassPredictionOptions& opts,
+      PropagationMode mode_slot,
+      const std::function<std::vector<ContactWindow>()>& compute);
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::size_t entries = 0;
+    /// Accounted resident size: per-entry payload
+    /// (windows.capacity() * sizeof(ContactWindow)) plus
+    /// kEntryOverheadBytes of map/list bookkeeping.
+    std::size_t bytes = 0;
   };
   [[nodiscard]] Stats stats() const;
   void clear();
+
+  /// Fixed bookkeeping charged per entry on top of the window payload:
+  /// two 17-double keys (map node + recency list node), red-black node
+  /// and list pointers, and the Entry struct itself, rounded up. Exact
+  /// malloc geometry is allocator-specific; what matters for the budget
+  /// is that empty-window entries still have nonzero accounted cost.
+  static constexpr std::size_t kEntryOverheadBytes = 384;
 
   /// Process-wide cache used by the core campaign drivers.
   [[nodiscard]] static ContactWindowCache& global();
@@ -212,6 +249,7 @@ class ContactWindowCache {
   struct Entry {
     std::vector<ContactWindow> windows;
     std::list<Key>::iterator recency;  // position in recency_
+    std::size_t bytes = 0;             // accounted size incl. overhead
   };
   // One in-flight computation, shared between the owner and any waiters.
   struct InFlight {
@@ -233,12 +271,17 @@ class ContactWindowCache {
   void insert(const Key& key, const std::vector<ContactWindow>& windows);
   // Move `it` to most-recently-used. Caller holds mutex_.
   void touch(std::map<Key, Entry>::iterator it);
+  // Evict LRU entries until both budgets are respected. Caller holds
+  // mutex_.
+  void evict_over_budget();
 
   mutable std::mutex mutex_;
   std::map<Key, Entry> entries_;
   std::list<Key> recency_;  // front = LRU victim, back = most recent
   std::map<Key, std::shared_ptr<InFlight>> inflight_;
   std::size_t max_entries_;
+  std::size_t max_bytes_;
+  std::size_t bytes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -1,0 +1,252 @@
+#include "svc/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "sim/rng.h"
+
+namespace sinet::svc {
+
+namespace {
+
+/// Observer pool: rank -> deterministic ground site. Latitudes stay in
+/// the paper's deployment band (populated latitudes, not the poles).
+struct ObserverPool {
+  explicit ObserverPool(std::size_t count, std::uint64_t seed) {
+    lats.reserve(count);
+    lons.reserve(count);
+    sim::Rng rng(sim::derive_seed(seed, "loadgen.observers"));
+    for (std::size_t i = 0; i < count; ++i) {
+      lats.push_back(rng.uniform(-55.0, 65.0));
+      lons.push_back(rng.uniform(-180.0, 180.0));
+    }
+  }
+  std::vector<double> lats, lons;
+};
+
+/// Zipf sampler over ranks [0, n): p(r) proportional to (r+1)^-s,
+/// via a precomputed CDF and binary search. Deterministic across
+/// platforms (plain doubles + sim::Rng uniforms).
+struct ZipfSampler {
+  ZipfSampler(std::size_t n, double s) : cdf(n) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      total += std::pow(static_cast<double>(r + 1), -s);
+      cdf[r] = total;
+    }
+    for (double& c : cdf) c /= total;
+  }
+  [[nodiscard]] std::size_t sample(sim::Rng& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return it == cdf.end() ? cdf.size() - 1
+                           : static_cast<std::size_t>(it - cdf.begin());
+  }
+  std::vector<double> cdf;
+};
+
+int connect_to(const std::string& host, int port, double timeout_s) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval tv{};
+  tv.tv_sec = static_cast<long>(timeout_s);
+  tv.tv_usec = static_cast<long>((timeout_s - std::floor(timeout_s)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read one newline-terminated response; false on timeout / hangup.
+bool recv_line(int fd, std::string& buffer, std::string& line) {
+  for (;;) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+LoadgenResult run_loadgen(const LoadgenOptions& opts,
+                          obs::MetricsRegistry* metrics) {
+  if (opts.observers == 0)
+    throw std::invalid_argument("run_loadgen: empty observer pool");
+  const std::size_t connections = std::max<std::size_t>(1, opts.connections);
+  const ObserverPool pool(opts.observers, opts.seed);
+  const ZipfSampler zipf(opts.observers, opts.zipf_s);
+
+  const double weight_total = opts.next_pass_weight +
+                              opts.passes_in_range_weight +
+                              opts.visibility_now_weight;
+  const double w_next = weight_total > 0.0 ? opts.next_pass_weight : 1.0;
+  const double w_range = opts.passes_in_range_weight;
+  const double w_vis = opts.visibility_now_weight;
+  const double w_all = std::max(weight_total, w_next);
+
+  std::mutex result_mutex;
+  LoadgenResult result;
+  std::vector<double> latencies;
+  latencies.reserve(opts.requests);
+  bool connect_failed = false;
+
+  const auto t_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      const std::size_t share = opts.requests / connections +
+                                (c < opts.requests % connections ? 1 : 0);
+      if (share == 0) return;
+      const int fd = connect_to(opts.host, opts.port, opts.timeout_s);
+      if (fd < 0) {
+        std::lock_guard<std::mutex> lock(result_mutex);
+        connect_failed = true;
+        return;
+      }
+      sim::Rng rng(sim::derive_seed(opts.seed,
+                                    "loadgen.client." + std::to_string(c)));
+      std::string buffer, line;
+      std::vector<double> local_lat;
+      local_lat.reserve(share);
+      std::size_t sent = 0, ok = 0, shed = 0, errors = 0;
+      for (std::size_t i = 0; i < share; ++i) {
+        const std::size_t rank = zipf.sample(rng);
+        const double lat = pool.lats[rank];
+        const double lon = pool.lons[rank];
+        const double pick = rng.uniform() * w_all;
+        std::string request;
+        if (pick < w_next) {
+          request = "{\"type\":\"next_pass\",\"lat_deg\":" +
+                    obs::json_double(lat) +
+                    ",\"lon_deg\":" + obs::json_double(lon) + "}";
+        } else if (pick < w_next + w_range) {
+          // A deliberately over-wide span — the server clamps it to the
+          // live horizon, so this exercises the heaviest query shape.
+          request = "{\"type\":\"passes_in_range\",\"lat_deg\":" +
+                    obs::json_double(lat) +
+                    ",\"lon_deg\":" + obs::json_double(lon) +
+                    ",\"start_unix_s\":0,\"end_unix_s\":253402300800}";
+        } else if (pick < w_next + w_range + w_vis) {
+          request = "{\"type\":\"visibility_now\",\"lat_deg\":" +
+                    obs::json_double(lat) +
+                    ",\"lon_deg\":" + obs::json_double(lon) + "}";
+        } else {
+          request = "{\"type\":\"stats\"}";
+        }
+        request += '\n';
+
+        const auto t0 = std::chrono::steady_clock::now();
+        ++sent;
+        if (!send_all(fd, request) || !recv_line(fd, buffer, line)) {
+          ++errors;
+          break;  // connection is gone; stop this client
+        }
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        if (line.find("\"ok\":true") != std::string::npos) {
+          ++ok;
+          local_lat.push_back(ms);
+        } else if (line.find("\"error\":\"overloaded\"") !=
+                   std::string::npos) {
+          ++shed;
+        } else {
+          ++errors;
+        }
+        if (metrics != nullptr)
+          metrics->histogram("loadgen.rtt_ms", 0.0, 250.0, 500).record(ms);
+      }
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(result_mutex);
+      result.sent += sent;
+      result.ok += ok;
+      result.shed += shed;
+      result.errors += errors;
+      latencies.insert(latencies.end(), local_lat.begin(), local_lat.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.elapsed_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t_start)
+                         .count();
+
+  if (connect_failed && result.sent == 0)
+    throw std::runtime_error("run_loadgen: could not connect to " +
+                             opts.host + ":" + std::to_string(opts.port));
+
+  std::sort(latencies.begin(), latencies.end());
+  result.throughput_rps =
+      result.elapsed_s > 0.0
+          ? static_cast<double>(result.sent) / result.elapsed_s
+          : 0.0;
+  result.p50_ms = percentile(latencies, 0.50);
+  result.p90_ms = percentile(latencies, 0.90);
+  result.p99_ms = percentile(latencies, 0.99);
+  result.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (const double ms : latencies) sum += ms;
+    result.mean_ms = sum / static_cast<double>(latencies.size());
+  }
+  if (metrics != nullptr) {
+    metrics->counter("loadgen.sent").add(result.sent);
+    metrics->counter("loadgen.ok").add(result.ok);
+    metrics->counter("loadgen.shed").add(result.shed);
+    metrics->counter("loadgen.errors").add(result.errors);
+    metrics->gauge("loadgen.p99_ms").set(result.p99_ms);
+    metrics->gauge("loadgen.throughput_rps").set(result.throughput_rps);
+  }
+  return result;
+}
+
+}  // namespace sinet::svc

@@ -1,0 +1,65 @@
+// Closed-loop load generator for `sinet serve`.
+//
+// Replays the query pattern a fleet operator's frontend would produce:
+// a pool of distinct observers whose popularity follows a Zipf law (a
+// few hot ground sites, a long tail of rarely queried ones — the same
+// skew that makes the ContactWindowCache earn its keep), a configurable
+// request-type mix, and N concurrent connections each running a
+// closed loop (send one request, await its response, measure the RTT).
+// Latencies are recorded exactly (client side, sorted at the end), so
+// the reported quantiles are not histogram approximations; the server's
+// own svc.* histogram is the SLO-gated counterpart.
+//
+// Deterministic: observers and the request sequence derive from `seed`
+// via the sim::Rng named-stream discipline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sinet::obs {
+class MetricsRegistry;
+}  // namespace sinet::obs
+
+namespace sinet::svc {
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::size_t connections = 4;   ///< concurrent closed-loop clients
+  std::size_t requests = 1000;   ///< total across all connections
+  std::size_t observers = 10000; ///< distinct observer pool size
+  double zipf_s = 1.1;           ///< Zipf popularity exponent
+  std::uint64_t seed = 42;
+  /// Request-type mix (normalized internally; stats fills the rest).
+  double next_pass_weight = 0.8;
+  double passes_in_range_weight = 0.1;
+  double visibility_now_weight = 0.1;
+  double timeout_s = 30.0;       ///< per-response receive timeout
+};
+
+struct LoadgenResult {
+  std::size_t sent = 0;
+  std::size_t ok = 0;
+  std::size_t shed = 0;       ///< typed `overloaded` responses
+  std::size_t errors = 0;     ///< other error responses / IO failures
+  double elapsed_s = 0.0;
+  double throughput_rps = 0.0;
+  /// Client-side RTT quantiles (ms) over successful responses.
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double mean_ms = 0.0;
+};
+
+/// Run the load against a live server; throws std::runtime_error when no
+/// connection can be established. Shed responses count toward neither
+/// ok nor errors (they are the admission control working as designed)
+/// and their RTTs are excluded from the latency quantiles.
+[[nodiscard]] LoadgenResult run_loadgen(const LoadgenOptions& opts,
+                                        obs::MetricsRegistry* metrics =
+                                            nullptr);
+
+}  // namespace sinet::svc

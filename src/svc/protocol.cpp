@@ -1,0 +1,227 @@
+#include "svc/protocol.h"
+
+#include <cmath>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace sinet::svc {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Skip one JSON value of any shape (tolerant parsing of unknown keys).
+void skip_json_value(obs::JsonCursor& cur) {
+  if (cur.peek_is('{')) {
+    obs::parse_json_object(cur,
+                           [&](const std::string&) { skip_json_value(cur); });
+  } else if (cur.peek_is('[')) {
+    obs::parse_json_array(cur, [&] { skip_json_value(cur); });
+  } else if (cur.peek_is('"')) {
+    (void)cur.parse_string();
+  } else if (cur.peek_is('t') || cur.peek_is('f')) {
+    (void)cur.parse_bool();
+  } else {
+    (void)cur.parse_double();
+  }
+}
+
+RequestType parse_type_name(const std::string& name) {
+  if (name == "next_pass") return RequestType::kNextPass;
+  if (name == "passes_in_range") return RequestType::kPassesInRange;
+  if (name == "visibility_now") return RequestType::kVisibilityNow;
+  if (name == "stats") return RequestType::kStats;
+  throw ProtocolError(ErrorCode::kUnknownType,
+                      "unknown request type '" + name + "'");
+}
+
+void append_id(std::string& out, const Request* request) {
+  if (request != nullptr && request->has_id)
+    out += ",\"id\":" + obs::json_u64(request->id);
+}
+
+void append_pass(std::string& out, const PassEntry& pass) {
+  out += "{\"satellite\":\"" + obs::json_escape(pass.satellite) +
+         "\",\"catalog_number\":" +
+         obs::json_u64(static_cast<std::uint64_t>(pass.catalog_number)) +
+         ",\"aos_unix_s\":" + obs::json_double(pass.aos_unix_s) +
+         ",\"los_unix_s\":" + obs::json_double(pass.los_unix_s) +
+         ",\"tca_unix_s\":" + obs::json_double(pass.tca_unix_s) +
+         ",\"max_elevation_deg\":" + obs::json_double(pass.max_elevation_deg) +
+         "}";
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownType: return "unknown_type";
+    case ErrorCode::kOversized: return "oversized";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+Request parse_request(const std::string& line) {
+  Request req;
+  req.min_elevation_deg = kNaN;
+  req.after_unix_s = kNaN;
+  req.start_unix_s = kNaN;
+  req.end_unix_s = kNaN;
+  bool has_type = false, has_lat = false, has_lon = false;
+
+  obs::JsonCursor cur(line);
+  try {
+    obs::parse_json_object(cur, [&](const std::string& key) {
+      if (key == "type") {
+        req.type = parse_type_name(cur.parse_string());
+        has_type = true;
+      } else if (key == "id") {
+        req.id = cur.parse_u64();
+        req.has_id = true;
+      } else if (key == "lat_deg") {
+        req.observer.latitude_deg = cur.parse_double();
+        has_lat = true;
+      } else if (key == "lon_deg") {
+        req.observer.longitude_deg = cur.parse_double();
+        has_lon = true;
+      } else if (key == "alt_km") {
+        req.observer.altitude_km = cur.parse_double();
+      } else if (key == "min_elevation_deg") {
+        req.min_elevation_deg = cur.parse_double();
+      } else if (key == "after_unix_s") {
+        req.after_unix_s = cur.parse_double();
+      } else if (key == "start_unix_s") {
+        req.start_unix_s = cur.parse_double();
+      } else if (key == "end_unix_s") {
+        req.end_unix_s = cur.parse_double();
+      } else {
+        skip_json_value(cur);  // forward compatibility
+      }
+    });
+  } catch (const ProtocolError& e) {
+    // Re-wrap so errors thrown mid-parse (e.g. unknown type) still carry
+    // whatever id was parsed before the failure.
+    throw ProtocolError(e.code(), e.what(), req.has_id, req.id);
+  } catch (const std::exception& e) {
+    throw ProtocolError(ErrorCode::kParse, e.what(), req.has_id, req.id);
+  }
+
+  const auto bad = [&req](const std::string& message) {
+    return ProtocolError(ErrorCode::kBadRequest, message, req.has_id,
+                         req.id);
+  };
+  if (!has_type) throw bad("missing 'type'");
+
+  const bool needs_observer = req.type != RequestType::kStats;
+  if (needs_observer) {
+    if (!has_lat || !has_lon) throw bad("missing 'lat_deg'/'lon_deg'");
+    if (!(req.observer.latitude_deg >= -90.0 &&
+          req.observer.latitude_deg <= 90.0))
+      throw bad("'lat_deg' outside [-90, 90]");
+    if (!(req.observer.longitude_deg >= -180.0 &&
+          req.observer.longitude_deg <= 360.0))
+      throw bad("'lon_deg' outside [-180, 360]");
+    if (!std::isnan(req.min_elevation_deg) &&
+        !(req.min_elevation_deg >= -90.0 && req.min_elevation_deg <= 90.0))
+      throw bad("'min_elevation_deg' outside [-90, 90]");
+  }
+  if (req.type == RequestType::kPassesInRange) {
+    if (std::isnan(req.start_unix_s) || std::isnan(req.end_unix_s))
+      throw bad("missing 'start_unix_s'/'end_unix_s'");
+    if (!(req.end_unix_s >= req.start_unix_s))
+      throw bad("'end_unix_s' before 'start_unix_s'");
+  }
+  return req;
+}
+
+std::string error_response(ErrorCode code, const std::string& message,
+                           const Request* request, int retry_after_ms) {
+  std::string out = "{\"ok\":false,\"error\":\"";
+  out += error_code_name(code);
+  out += "\",\"message\":\"" + obs::json_escape(message) + "\"";
+  if (code == ErrorCode::kOverloaded && retry_after_ms >= 0)
+    out += ",\"retry_after_ms\":" +
+           obs::json_u64(static_cast<std::uint64_t>(retry_after_ms));
+  append_id(out, request);
+  out += "}";
+  return out;
+}
+
+std::string next_pass_response(const Request& request, const PassEntry* pass,
+                               double horizon_end_unix_s) {
+  std::string out = "{\"ok\":true,\"type\":\"next_pass\"";
+  append_id(out, &request);
+  if (pass == nullptr) {
+    out += ",\"found\":false";
+  } else {
+    out += ",\"found\":true,\"pass\":";
+    append_pass(out, *pass);
+  }
+  out += ",\"horizon_end_unix_s\":" + obs::json_double(horizon_end_unix_s);
+  out += "}";
+  return out;
+}
+
+std::string passes_in_range_response(const Request& request,
+                                     const std::vector<PassEntry>& passes) {
+  std::string out = "{\"ok\":true,\"type\":\"passes_in_range\"";
+  append_id(out, &request);
+  out += ",\"count\":" + obs::json_u64(passes.size());
+  out += ",\"passes\":[";
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    if (i != 0) out += ",";
+    append_pass(out, passes[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string visibility_now_response(const Request& request,
+                                    double time_unix_s,
+                                    const std::vector<VisibleEntry>& visible) {
+  std::string out = "{\"ok\":true,\"type\":\"visibility_now\"";
+  append_id(out, &request);
+  out += ",\"time_unix_s\":" + obs::json_double(time_unix_s);
+  out += ",\"count\":" + obs::json_u64(visible.size());
+  out += ",\"visible\":[";
+  for (std::size_t i = 0; i < visible.size(); ++i) {
+    if (i != 0) out += ",";
+    const VisibleEntry& v = visible[i];
+    out += "{\"satellite\":\"" + obs::json_escape(v.satellite) +
+           "\",\"catalog_number\":" +
+           obs::json_u64(static_cast<std::uint64_t>(v.catalog_number)) +
+           ",\"elevation_deg\":" + obs::json_double(v.elevation_deg) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string stats_response(const Request& request, const StatsPayload& s) {
+  std::string out = "{\"ok\":true,\"type\":\"stats\"";
+  append_id(out, &request);
+  out += ",\"now_unix_s\":" + obs::json_double(s.now_unix_s);
+  out += ",\"horizon_start_unix_s\":" +
+         obs::json_double(s.horizon_start_unix_s);
+  out += ",\"horizon_end_unix_s\":" + obs::json_double(s.horizon_end_unix_s);
+  out += ",\"satellites\":" + obs::json_u64(s.satellites);
+  out += ",\"requests\":" + obs::json_u64(s.requests);
+  out += ",\"errors\":" + obs::json_u64(s.errors);
+  out += ",\"shed\":" + obs::json_u64(s.shed);
+  out += ",\"cache_hits\":" + obs::json_u64(s.cache_hits);
+  out += ",\"cache_misses\":" + obs::json_u64(s.cache_misses);
+  out += ",\"cache_entries\":" + obs::json_u64(s.cache_entries);
+  out += ",\"cache_bytes\":" + obs::json_u64(s.cache_bytes);
+  out += ",\"horizon_resident_bytes\":" +
+         obs::json_u64(s.horizon_resident_bytes);
+  out += ",\"horizon_advances\":" + obs::json_u64(s.horizon_advances);
+  out += "}";
+  return out;
+}
+
+}  // namespace sinet::svc

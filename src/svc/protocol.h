@@ -1,0 +1,143 @@
+// Wire protocol of the resident pass-prediction service (`sinet serve`).
+//
+// Newline-delimited JSON over TCP: each request is one JSON object on one
+// line, each response is one JSON object on one line. Four request types
+// (next_pass, passes_in_range, visibility_now, stats); every failure maps
+// to a TYPED error response — garbage input, unknown types, oversized or
+// truncated frames and overload all produce `{"ok":false,"error":...}`,
+// never a dropped connection without an answer and never a crash
+// (robustness tests: tests/test_svc.cpp). The JSON primitives are the
+// obs/json building blocks, so doubles round-trip bit-exactly.
+//
+// Full schema: docs/SERVICE.md.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "orbit/passes.h"
+
+namespace sinet::svc {
+
+enum class RequestType : int {
+  kNextPass = 0,
+  kPassesInRange = 1,
+  kVisibilityNow = 2,
+  kStats = 3,
+};
+
+/// Typed error categories of the protocol. The enum name (snake_case,
+/// see error_code_name) is what goes on the wire in the "error" field.
+enum class ErrorCode : int {
+  kParse = 0,         ///< malformed JSON / wrong value type
+  kBadRequest = 1,    ///< well-formed but invalid (missing field, range)
+  kUnknownType = 2,   ///< unrecognized "type"
+  kOversized = 3,     ///< request line exceeded the frame limit
+  kOverloaded = 4,    ///< admission control shed the request
+  kShuttingDown = 5,  ///< server is draining
+  kInternal = 6,      ///< handler threw (bug shield — still a response)
+};
+[[nodiscard]] const char* error_code_name(ErrorCode code) noexcept;
+
+/// Parse/validation failure carrying its wire category and — when the
+/// request's `id` key was already parsed before the failure — that id,
+/// so even error responses can be matched by pipelined clients.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  ProtocolError(ErrorCode code, const std::string& message, bool has_id,
+                std::uint64_t id)
+      : std::runtime_error(message), code_(code), has_id_(has_id), id_(id) {}
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] bool has_id() const noexcept { return has_id_; }
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  ErrorCode code_;
+  bool has_id_ = false;
+  std::uint64_t id_ = 0;
+};
+
+/// One parsed request. Optional fields default to NaN ("use the server
+/// default" for the mask, "now" for times); `id`, when present, is echoed
+/// verbatim in the response so pipelined clients can match answers.
+struct Request {
+  RequestType type = RequestType::kStats;
+  bool has_id = false;
+  std::uint64_t id = 0;
+  orbit::Geodetic observer;
+  double min_elevation_deg = 0.0;  ///< NaN after parse = server default
+  double after_unix_s = 0.0;       ///< next_pass; NaN = server "now"
+  double start_unix_s = 0.0;       ///< passes_in_range
+  double end_unix_s = 0.0;         ///< passes_in_range
+};
+
+/// Parse one request line. Throws ProtocolError (kParse on malformed
+/// JSON or wrong value types, kUnknownType on an unrecognized "type",
+/// kBadRequest on missing/out-of-range fields). Unknown keys are
+/// skipped, so the schema can grow without breaking old servers.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+/// One pass in a response payload.
+struct PassEntry {
+  std::string satellite;
+  int catalog_number = 0;
+  double aos_unix_s = 0.0;
+  double los_unix_s = 0.0;
+  double tca_unix_s = 0.0;
+  double max_elevation_deg = 0.0;
+};
+
+/// One currently visible satellite in a visibility_now payload.
+struct VisibleEntry {
+  std::string satellite;
+  int catalog_number = 0;
+  double elevation_deg = 0.0;
+};
+
+// ---- Response builders (one line of JSON, no trailing newline) ----
+
+/// `{"ok":false,"error":"<code>","message":...}` plus the echoed id and,
+/// for kOverloaded, `"retry_after_ms"`.
+[[nodiscard]] std::string error_response(ErrorCode code,
+                                         const std::string& message,
+                                         const Request* request = nullptr,
+                                         int retry_after_ms = -1);
+
+/// next_pass answer; `pass == nullptr` means no pass inside the horizon
+/// (`"found":false` plus the searched horizon end, so clients know how
+/// far ahead the "no" extends).
+[[nodiscard]] std::string next_pass_response(const Request& request,
+                                             const PassEntry* pass,
+                                             double horizon_end_unix_s);
+
+[[nodiscard]] std::string passes_in_range_response(
+    const Request& request, const std::vector<PassEntry>& passes);
+
+[[nodiscard]] std::string visibility_now_response(
+    const Request& request, double time_unix_s,
+    const std::vector<VisibleEntry>& visible);
+
+/// Service counters for the stats response.
+struct StatsPayload {
+  double horizon_start_unix_s = 0.0;
+  double horizon_end_unix_s = 0.0;
+  double now_unix_s = 0.0;
+  std::uint64_t satellites = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t horizon_resident_bytes = 0;
+  std::uint64_t horizon_advances = 0;
+};
+[[nodiscard]] std::string stats_response(const Request& request,
+                                         const StatsPayload& stats);
+
+}  // namespace sinet::svc

@@ -1,0 +1,74 @@
+// TCP front end of the pass-prediction service.
+//
+// One poll(2)-based I/O thread owns every socket: it accepts
+// connections, splits the byte stream into newline-delimited request
+// frames, enqueues them on a BOUNDED queue, and writes responses back.
+// A small worker pool drains the queue through PassService::handle_line,
+// and a maintenance thread advances the rolling horizon. Admission
+// control is the queue bound: when it is full the I/O thread answers
+// `overloaded` (with `retry_after_ms`) immediately instead of queueing —
+// load shedding costs one JSON write, never a stalled accept loop.
+//
+// Shutdown (request_stop, wired to SIGINT/SIGTERM by the CLI) is a
+// graceful drain: stop accepting, stop reading, finish every queued
+// request, flush write buffers (bounded by drain_timeout_s), then close.
+// Ordering: responses on one connection may interleave across pipelined
+// requests when workers > 1 — clients that pipeline must use the `id`
+// echo to match answers (the loadgen's closed-loop clients don't need
+// to).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/service.h"
+
+namespace sinet::svc {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; the bound port is Server::port()
+  int backlog = 64;
+  std::size_t max_request_bytes = 64 * 1024;  ///< frame limit
+  std::size_t queue_capacity = 256;           ///< admission-control bound
+  unsigned workers = 2;
+  int retry_after_ms = 50;       ///< hint in `overloaded` responses
+  double advance_period_s = 1.0; ///< horizon maintenance cadence
+  double drain_timeout_s = 5.0;  ///< max wait for flushes at shutdown
+  /// Test hook: sleep this long in each worker before handling, so
+  /// admission-control tests can fill the queue deterministically.
+  int debug_handler_delay_ms = 0;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (throws std::runtime_error on
+  /// failure) and starts the I/O, worker and maintenance threads.
+  /// `service` must outlive the server.
+  Server(PassService& service, const ServerOptions& opts,
+         obs::MetricsRegistry* metrics = nullptr);
+  /// Stops and joins if still running.
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Actual bound port (differs from options when options.port == 0).
+  [[nodiscard]] int port() const noexcept { return port_; }
+
+  /// Begin graceful drain. Async-signal-unsafe parts are deferred to the
+  /// I/O thread; safe to call from any thread, and more than once.
+  void request_stop() noexcept;
+
+  /// Block until the drain finished and every thread joined.
+  void wait();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int port_ = 0;
+};
+
+}  // namespace sinet::svc

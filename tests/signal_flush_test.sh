@@ -1,0 +1,70 @@
+#!/bin/sh
+# Regression test for --metrics flushing on signals (examples/sinet_cli.cpp).
+#
+# Long-running subcommands used to lose the run report when interrupted:
+# main() only wrote it on a clean rc == 0 exit, and the default SIGINT /
+# SIGTERM disposition killed the process before that line ran. The CLI
+# now routes both signals through a sigwait() watcher, so:
+#   - batch subcommands (dts, sweep, ...) flush the report with an
+#     `interrupted` info key and exit 128+signo;
+#   - `serve` turns the first signal into a graceful drain and exits 0
+#     through the normal report-writing path.
+#
+# Usage: signal_flush_test.sh <sinet-binary> <scratch-dir>
+set -e
+SINET="$1"
+DIR="$2"
+[ -x "$SINET" ] || { echo "no sinet binary at '$SINET'"; exit 1; }
+mkdir -p "$DIR"
+
+# ---- batch subcommand: SIGTERM must flush, then exit 128+15 ----------
+METRICS="$DIR/signal_flush_dts.json"
+rm -f "$METRICS"
+# Sized to run for minutes on one core, so the signal always lands
+# mid-run; the watcher kills it ~2 s in.
+"$SINET" dts --nodes 200000 --sats 30 --days 5 --metrics "$METRICS" \
+  > "$DIR/signal_flush_dts.log" 2>&1 &
+PID=$!
+sleep 2
+kill -TERM "$PID" 2>/dev/null || { echo "dts finished too early"; exit 1; }
+rc=0
+wait "$PID" || rc=$?
+[ "$rc" -eq 143 ] || { echo "dts: expected exit 143, got $rc"; exit 1; }
+python3 - "$METRICS" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+info = report.get("info", {})
+assert info.get("interrupted") == "SIGTERM", info
+assert info.get("command") == "dts", info
+assert info.get("tool") == "sinet_cli", info
+EOF
+echo "dts: interrupted report flushed, exit 143"
+
+# ---- serve: SIGINT must drain gracefully and exit 0 ------------------
+METRICS="$DIR/signal_flush_serve.json"
+OUT="$DIR/signal_flush_serve.log"
+rm -f "$METRICS" "$OUT"
+"$SINET" serve --constellation FOSSA --horizon-hours 2 \
+  --metrics "$METRICS" > "$OUT" 2>&1 &
+PID=$!
+# Wait until the server reports its bound port (fully started).
+i=0
+until grep -q "serve.port=" "$OUT" 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -le 60 ] || { echo "serve never started"; cat "$OUT"; exit 1; }
+  sleep 1
+done
+kill -INT "$PID"
+rc=0
+wait "$PID" || rc=$?
+[ "$rc" -eq 0 ] || { echo "serve: expected exit 0, got $rc"; cat "$OUT"; exit 1; }
+grep -q "serve.requests=" "$OUT" || { echo "serve: no final stats"; exit 1; }
+python3 - "$METRICS" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+info = report.get("info", {})
+assert "interrupted" not in info, info   # graceful path, not the flush path
+assert info.get("command") == "serve", info
+EOF
+echo "serve: graceful drain, exit 0, report written"
+echo "signal flush ok"

@@ -822,6 +822,225 @@ TEST(PropagationMode, ParseSetAndDefaultPlumbing) {
   orbit::set_propagation_mode(before);
 }
 
+// ---------------------------------------------------------------------
+// RollingEphemeris — the resident service's incrementally advanced
+// horizon (docs/SERVICE.md). Contract: scanning the retained horizon is
+// bit-identical to a fresh full-span scan over the same
+// [start_time, end_time], no matter how the horizon got there (chunked
+// leading-edge appends + trailing-edge retirements). The grid times are
+// one float accumulation continued across chunks, so a fresh ScanGrid
+// anchored at any retained sample reproduces the rest exactly.
+// ---------------------------------------------------------------------
+
+TEST(RollingEphemeris, IncrementalAdvanceIsBitIdenticalToFreshScan) {
+  std::mt19937_64 rng(41);
+  std::vector<Tle> tles;
+  std::vector<Sgp4> props;
+  for (int i = 0; i < 5; ++i) {
+    tles.push_back(random_tle(rng, i * 19 + 6));
+    props.emplace_back(tles.back());
+  }
+  std::vector<const Sgp4*> sat_ptrs;
+  for (const Sgp4& p : props) sat_ptrs.push_back(&p);
+
+  const JulianDate anchor = core::campaign_epoch_jd();
+  orbit::RollingEphemeris::Options ropts;
+  ropts.coarse_step_s = 30.0;
+  ropts.chunk_samples = 128;  // small chunks: many boundary crossings
+  orbit::RollingEphemeris rolling(sat_ptrs, anchor, ropts);
+  EXPECT_TRUE(rolling.empty());
+
+  const std::vector<GridObserver> observers{
+      GridObserver{Geodetic{22.3, 114.2, 0.05}},
+      GridObserver{Geodetic{51.5, -0.13, 0.035}, 10.0},
+      GridObserver{Geodetic{60.17, 24.94, 0.0}, 5.0}};
+  PassPredictionOptions popts;
+  popts.coarse_step_s = ropts.coarse_step_s;
+  popts.min_elevation_deg = 5.0;  // NaN-mask observers fall back to this
+
+  // Advance the leading edge in uneven slices, retiring history as the
+  // service's maintenance thread would, and check parity at each stage.
+  double retire = anchor;
+  for (const double cover_days : {0.11, 0.35, 0.62, 1.0}) {
+    (void)rolling.advance(retire, anchor + cover_days);
+    retire = anchor + cover_days * 0.4;
+    ASSERT_FALSE(rolling.empty());
+    EXPECT_GE(rolling.end_time(), anchor + cover_days);
+
+    for (std::size_t s = 0; s < sat_ptrs.size(); ++s) {
+      for (std::size_t o = 0; o < observers.size(); ++o) {
+        const GridObserver& site = observers[o];
+        PassPredictionOptions lopts = popts;
+        if (!std::isnan(site.min_elevation_deg))
+          lopts.min_elevation_deg = site.min_elevation_deg;
+        const auto got = rolling.scan_satellite(s, site, popts);
+        const auto want =
+            orbit::predict_passes(props[s], site.location,
+                                  rolling.start_time(), rolling.end_time(),
+                                  lopts);
+        expect_bit_identical(got, want,
+                             "cover " + std::to_string(cover_days) +
+                                 " sat " + std::to_string(s) + " site " +
+                                 std::to_string(o));
+      }
+    }
+  }
+  EXPECT_GT(rolling.chunk_count(), 1u);
+  EXPECT_GT(rolling.base_index(), 0u);  // retirement actually happened
+  EXPECT_GT(rolling.propagations(), 0u);
+
+  // scan_observer is the per-site fan-out of scan_satellite.
+  const auto per_sat = rolling.scan_observer(observers[0], popts);
+  ASSERT_EQ(per_sat.size(), sat_ptrs.size());
+  for (std::size_t s = 0; s < sat_ptrs.size(); ++s)
+    expect_bit_identical(per_sat[s],
+                         rolling.scan_satellite(s, observers[0], popts),
+                         "scan_observer sat " + std::to_string(s));
+}
+
+TEST(RollingEphemeris, CullOffAndCullOnAreBitIdentical) {
+  std::mt19937_64 rng(43);
+  std::vector<Tle> tles;
+  std::vector<Sgp4> props;
+  for (int i = 0; i < 3; ++i) {
+    tles.push_back(random_tle(rng, i * 23 + 9));
+    props.emplace_back(tles.back());
+  }
+  std::vector<const Sgp4*> sat_ptrs;
+  for (const Sgp4& p : props) sat_ptrs.push_back(&p);
+  const JulianDate anchor = core::campaign_epoch_jd();
+
+  orbit::RollingEphemeris::Options culled;
+  culled.chunk_samples = 256;
+  orbit::RollingEphemeris::Options exact = culled;
+  exact.cull = false;
+  orbit::RollingEphemeris r1(sat_ptrs, anchor, culled);
+  orbit::RollingEphemeris r2(sat_ptrs, anchor, exact);
+  (void)r1.advance(anchor, anchor + 0.5);
+  (void)r2.advance(anchor, anchor + 0.5);
+
+  const GridObserver site{Geodetic{-33.87, 151.2, 0.02}, 10.0};
+  PassPredictionOptions popts;
+  for (std::size_t s = 0; s < sat_ptrs.size(); ++s)
+    expect_bit_identical(r1.scan_satellite(s, site, popts),
+                         r2.scan_satellite(s, site, popts),
+                         "cull arm sat " + std::to_string(s));
+}
+
+TEST(RollingEphemeris, RetirementBoundsResidencyAndKeepsCoverage) {
+  std::mt19937_64 rng(47);
+  const Tle tle = random_tle(rng, 12);
+  const Sgp4 prop(tle);
+  const JulianDate anchor = core::campaign_epoch_jd();
+  orbit::RollingEphemeris::Options ropts;
+  ropts.chunk_samples = 64;
+  orbit::RollingEphemeris rolling({&prop}, anchor, ropts);
+
+  auto stats = rolling.advance(anchor, anchor + 0.4);
+  EXPECT_GT(stats.chunks_appended, 0u);
+  EXPECT_EQ(stats.chunks_retired, 0u);
+  EXPECT_GT(stats.propagations, 0u);
+  const std::size_t full_bytes = rolling.resident_bytes();
+  const std::size_t full_chunks = rolling.chunk_count();
+
+  // Covered already: a second advance is a no-op.
+  stats = rolling.advance(anchor, anchor + 0.4);
+  EXPECT_EQ(stats.chunks_appended, 0u);
+  EXPECT_EQ(stats.propagations, 0u);
+
+  // Retire most of the history: residency shrinks, but the chunk holding
+  // `retire_before` itself is kept, so the retained span still covers it.
+  const JulianDate retire = anchor + 0.3;
+  stats = rolling.advance(retire, anchor + 0.4);
+  EXPECT_GT(stats.chunks_retired, 0u);
+  EXPECT_LT(rolling.chunk_count(), full_chunks);
+  EXPECT_LT(rolling.resident_bytes(), full_bytes);
+  EXPECT_LE(rolling.start_time(), retire);
+  EXPECT_GE(rolling.end_time(), anchor + 0.4);
+
+  // Absolute sample indices survive retirement: sample_time(base_index)
+  // is the first retained time and nearest_index clamps into range.
+  EXPECT_EQ(rolling.sample_time(rolling.base_index()), rolling.start_time());
+  EXPECT_EQ(rolling.nearest_index(anchor - 1.0), rolling.base_index());
+  EXPECT_EQ(rolling.nearest_index(anchor + 9.0), rolling.end_index() - 1);
+  EXPECT_THROW((void)rolling.sample_time(rolling.base_index() - 1),
+               std::out_of_range);
+  EXPECT_THROW((void)rolling.sample_time(rolling.end_index()),
+               std::out_of_range);
+}
+
+TEST(RollingEphemeris, RejectsBadArguments) {
+  std::mt19937_64 rng(53);
+  const Tle tle = random_tle(rng, 30);
+  const Sgp4 prop(tle);
+  const JulianDate anchor = core::campaign_epoch_jd();
+
+  orbit::RollingEphemeris::Options zero_step;
+  zero_step.coarse_step_s = 0.0;
+  EXPECT_THROW(orbit::RollingEphemeris({&prop}, anchor, zero_step),
+               std::invalid_argument);
+  orbit::RollingEphemeris::Options zero_chunk;
+  zero_chunk.chunk_samples = 0;
+  EXPECT_THROW(orbit::RollingEphemeris({&prop}, anchor, zero_chunk),
+               std::invalid_argument);
+
+  orbit::RollingEphemeris rolling({&prop}, anchor);
+  const GridObserver site{Geodetic{22.3, 114.2, 0.05}};
+  PassPredictionOptions popts;
+  // Scanning an empty horizon, an out-of-range satellite, or with a
+  // coarse step that disagrees with the resident grid must all throw
+  // (the step mismatch would silently break the parity contract).
+  EXPECT_THROW((void)rolling.scan_satellite(0, site, popts),
+               std::logic_error);
+  (void)rolling.advance(anchor, anchor + 0.05);
+  EXPECT_THROW((void)rolling.scan_satellite(1, site, popts),
+               std::out_of_range);
+  PassPredictionOptions wrong_step;
+  wrong_step.coarse_step_s = 60.0;
+  EXPECT_THROW((void)rolling.scan_satellite(0, site, wrong_step),
+               std::invalid_argument);
+}
+
+// Satellite task: the cache's byte budget. Entries charge payload
+// capacity plus fixed overhead; exceeding max_bytes evicts LRU-first
+// (but never the entry just inserted).
+TEST(ContactWindowCache, ByteBudgetEvictsLruAndAccountsBytes) {
+  std::mt19937_64 rng(37);
+  const Geodetic site{22.3, 114.2, 0.05};
+  const JulianDate jd0 = core::campaign_epoch_jd();
+  const JulianDate jd1 = jd0 + 0.25;
+
+  // Budget fits roughly two busy entries, far below the entry cap, so
+  // every eviction in this test is byte-driven.
+  orbit::ContactWindowCache cache(
+      /*max_entries=*/1024,
+      /*max_bytes=*/2 * (orbit::ContactWindowCache::kEntryOverheadBytes +
+                         8 * sizeof(ContactWindow)));
+
+  std::vector<Tle> tles;
+  for (int i = 0; i < 4; ++i) tles.push_back(random_tle(rng, i * 11 + 7));
+  for (const Tle& tle : tles) (void)cache.get_or_predict(tle, site, jd0, jd1);
+
+  const auto st = cache.stats();
+  EXPECT_EQ(st.misses, tles.size());
+  EXPECT_LT(st.entries, tles.size());  // budget forced evictions
+  EXPECT_GE(st.entries, 1u);           // never evicts below one entry
+  EXPECT_GE(st.bytes,
+            st.entries * orbit::ContactWindowCache::kEntryOverheadBytes);
+
+  // The most recent key survived; the oldest was the victim.
+  (void)cache.get_or_predict(tles.back(), site, jd0, jd1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  (void)cache.get_or_predict(tles.front(), site, jd0, jd1);
+  EXPECT_EQ(cache.stats().hits, 1u);  // recomputed, not a hit
+
+  // An unbounded cache (max_bytes = 0) still accounts bytes.
+  orbit::ContactWindowCache unbounded;
+  (void)unbounded.get_or_predict(tles[0], site, jd0, jd1);
+  EXPECT_GE(unbounded.stats().bytes,
+            orbit::ContactWindowCache::kEntryOverheadBytes);
+}
+
 TEST(ContactWindowCache, PropagatesComputationErrors) {
   std::mt19937_64 rng(31);
   const Tle tle = random_tle(rng, 4);

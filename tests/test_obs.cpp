@@ -94,6 +94,50 @@ TEST(ObsHistogram, ConcurrentRecordsLoseNothing) {
   EXPECT_EQ(binned, h.total());
 }
 
+TEST(SnapshotQuantile, InterpolatesWithinBins) {
+  // 10 equal-width bins over [0, 100), one sample per bin at its left
+  // edge: the empirical quantiles are exactly recoverable by the
+  // uniform-within-bin assumption.
+  MetricsRegistry reg;  // snapshot via the registry, like svc gates do
+  Histogram& rh = reg.histogram("q", 0.0, 100.0, 10);
+  for (int i = 0; i < 10; ++i) rh.record(static_cast<double>(i) * 10.0);
+  const HistogramSnapshot s = reg.snapshot().histograms.at("q");
+
+  // rank(q) = q * 9; each bin holds one sample, so quantile q lands in
+  // bin floor(rank) at fraction frac(rank).
+  EXPECT_DOUBLE_EQ(snapshot_quantile(s, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot_quantile(s, 0.5), 45.0);
+  EXPECT_DOUBLE_EQ(snapshot_quantile(s, 1.0), 90.0);
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(snapshot_quantile(s, -0.5), snapshot_quantile(s, 0.0));
+  EXPECT_DOUBLE_EQ(snapshot_quantile(s, 1.5), snapshot_quantile(s, 1.0));
+}
+
+TEST(SnapshotQuantile, EdgeBucketsClampToHistogramRange) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("edges", 10.0, 20.0, 4);
+  h.record(-5.0);  // underflow
+  h.record(12.0);
+  h.record(99.0);  // overflow
+  const HistogramSnapshot s = reg.snapshot().histograms.at("edges");
+  // Underflow samples report lo; tail quantiles landing in the overflow
+  // bucket report hi. A gate whose histogram tops out below its SLO
+  // threshold therefore FAILS (reports hi) instead of silently passing.
+  EXPECT_DOUBLE_EQ(snapshot_quantile(s, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(snapshot_quantile(s, 1.0), 20.0);
+}
+
+TEST(SnapshotQuantile, EmptyAndNanOnlyHistogramsReturnNaN) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("empty", 0.0, 1.0, 2);
+  EXPECT_TRUE(std::isnan(snapshot_quantile(
+      reg.snapshot().histograms.at("empty"), 0.5)));
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  const HistogramSnapshot s = reg.snapshot().histograms.at("empty");
+  EXPECT_EQ(s.nan_count, 1u);
+  EXPECT_TRUE(std::isnan(snapshot_quantile(s, 0.5)));  // NaNs excluded
+}
+
 TEST(MetricsRegistry, FindOrCreateReturnsStableRefs) {
   MetricsRegistry reg;
   Counter& a = reg.counter("x");

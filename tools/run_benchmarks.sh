@@ -97,6 +97,7 @@ fi
 #          "run_report_fast": <the same under PropagationMode::kFast>,
 #          "ephemeris_ablation": <campaign-scan arm table incl. simd>,
 #          "scale_ablation": <DtS engine arms + 100k-node probe>,
+#          "svc_loadgen": <service SLOs: throughput, p50/p99, hit rate>,
 #          "validation": <divergence scores/scalars from sinet validate> }
 python3 - "$out_dir" "$repo_root/BENCH_RESULTS.json" <<'PY'
 import json, pathlib, sys
@@ -172,6 +173,23 @@ if probe.exists():
         scale["probe_100k"] = kv
 if scale:
     merged["scale_ablation"] = scale
+
+# Distill the service SLO bench (docs/SERVICE.md): per (requests,
+# connections) arm, the closed-loop throughput, client/server latency
+# quantiles and ContactWindowCache hit rate, so the `sinet serve` tail
+# latency trends across PRs next to the kernel wall-times.
+svc = {}
+for row in merged.get("bench_svc_loadgen", {}).get("benchmarks", []):
+    name = row.get("name", "")
+    if name.startswith("BM_SvcLoadgen/"):
+        # "BM_SvcLoadgen/2000/8/iterations:1" -> "2000/8"
+        arm = "/".join(name[len("BM_SvcLoadgen/"):].split("/")[:2])
+        svc[arm] = {k: row.get(k) for k in (
+            "real_time", "throughput_rps", "client_p50_ms",
+            "client_p99_ms", "server_p50_ms", "server_p99_ms",
+            "cache_hit_rate", "ok", "shed", "errors") if k in row}
+if svc:
+    merged["svc_loadgen"] = svc
 
 with open(merged_path, "w") as fh:
     json.dump(merged, fh, indent=1, sort_keys=True)
