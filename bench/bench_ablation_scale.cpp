@@ -118,6 +118,55 @@ BENCHMARK(BM_ScaleEngine_Batched)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// --- Parallel sharded engine: same aggregate-mode populations across
+// worker counts. Results are thread-count-invariant by construction, so
+// each arm asserts its aggregates byte-match the 1-thread reference for
+// its population before timing is accepted — a wrong-but-fast schedule
+// aborts the benchmark instead of reporting a speedup.
+void expect_parallel_invariance(const net::DtsNetworkConfig& cfg,
+                                const net::DtsAggregates& agg) {
+  static std::map<std::size_t,
+                  std::tuple<std::uint64_t, std::uint64_t, double, double>>
+      reference;
+  const std::size_t nodes = cfg.fleet.count;
+  const auto key = std::make_tuple(agg.reports_generated,
+                                   agg.reports_delivered,
+                                   agg.sum_end_to_end_s, agg.sum_wait_s);
+  const auto [it, inserted] = reference.emplace(nodes, key);
+  if (!inserted && it->second != key) {
+    std::fprintf(stderr,
+                 "FATAL: parallel DtS aggregates diverged from the "
+                 "1-thread reference at %zu nodes\n", nodes);
+    std::abort();
+  }
+}
+
+void BM_ScaleEngine_Parallel(benchmark::State& state) {
+  auto cfg = scale_engine_config(static_cast<std::size_t>(state.range(0)),
+                                 net::DtsEngine::kBatched);
+  cfg.trace_node_threshold = 64;  // aggregate mode even at 2000 nodes
+  cfg.sim_threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    const net::DtsNetworkResult res = net::run_dts_network(cfg);
+    expect_parallel_invariance(cfg, res.agg);
+    benchmark::DoNotOptimize(res.agg.reports_delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(std::to_string(state.range(1)) + "T");
+}
+BENCHMARK(BM_ScaleEngine_Parallel)
+    ->Args({2000, 1})
+    ->Args({2000, 2})
+    ->Args({2000, 4})
+    ->Args({50000, 1})
+    ->Args({50000, 2})
+    ->Args({50000, 4})
+    ->Args({200000, 1})
+    ->Args({200000, 2})
+    ->Args({200000, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 }  // namespace
 
 SINET_BENCH_MAIN(reproduce)

@@ -177,7 +177,7 @@ int usage() {
       "  sinet dts --nodes N --sats K [--sites M=256] [--days D=1]\n"
       "            [--seed S=42] [--engine auto|legacy|batched]\n"
       "            [--access aloha|scheduled] [--interval SECONDS]\n"
-      "            [--threshold NODES]\n"
+      "            [--threshold NODES] [--threads N=all]\n"
       "  sinet serve [--port P=ephemeral] [--constellation NAME=all]\n"
       "              [--horizon-hours H=24] [--retention-hours H=0.25]\n"
       "              [--step SECONDS=30] [--min-elevation DEG=10]\n"
@@ -478,6 +478,7 @@ int cmd_dts(int argc, char** argv) {
   long seed = 42;
   long threshold = -1;  // -1 = library default
   double interval_s = 0.0;
+  long threads = 0;  // 0 = all hardware threads
   std::string engine = "auto";
   std::string access;
   for (int i = 2; i < argc; ++i) {
@@ -500,6 +501,8 @@ int cmd_dts(int argc, char** argv) {
       threshold = parse_int_arg(next("--threshold"), "--threshold");
     else if (std::strcmp(argv[i], "--interval") == 0)
       interval_s = parse_double_arg(next("--interval"), "--interval");
+    else if (std::strcmp(argv[i], "--threads") == 0)
+      threads = parse_int_arg(next("--threads"), "--threads");
     else if (std::strcmp(argv[i], "--engine") == 0)
       engine = next("--engine");
     else if (std::strcmp(argv[i], "--access") == 0)
@@ -518,6 +521,8 @@ int cmd_dts(int argc, char** argv) {
   if (threshold >= 0)
     cfg.trace_node_threshold = static_cast<std::size_t>(threshold);
   if (interval_s > 0.0) cfg.fleet.prototype.report_interval_s = interval_s;
+  if (threads < 0) throw UsageError("dts: --threads must be >= 0");
+  cfg.sim_threads = static_cast<unsigned>(threads);
   if (engine == "legacy") cfg.engine = net::DtsEngine::kLegacy;
   else if (engine == "batched") cfg.engine = net::DtsEngine::kBatched;
   else if (engine != "auto")
@@ -550,6 +555,7 @@ int cmd_dts(int argc, char** argv) {
   std::printf("dts.nodes=%ld\n", nodes);
   std::printf("dts.sats=%ld\n", sats);
   std::printf("dts.days=%g\n", days);
+  std::printf("dts.threads=%.0f\n", gauge("net.dts.parallel.threads"));
   std::printf("dts.reports_generated=%llu\n",
               static_cast<unsigned long long>(res.agg.reports_generated));
   std::printf("dts.eligible_generated=%llu\n",

@@ -507,7 +507,7 @@ class Simulator {
     }
     detail::aggregate_from_uplinks(
         result.uplinks, sim_.epoch_unix_s() + duration_s(),
-        cfg_.aggregate_tail_exclusion_s, result.agg);
+        detail::effective_tail_exclusion_s(cfg_), result.agg);
     for (const IotNodeState& node : nodes_) {
       result.agg.local_buffer_drops += node.local_drops;
       result.agg.packets_abandoned += node.packets_abandoned;
@@ -604,6 +604,28 @@ double DtsAggregates::mean_end_to_end_s() const {
 double DtsAggregates::mean_wait_s() const {
   if (wait_samples == 0) return 0.0;
   return sum_wait_s / static_cast<double>(wait_samples);
+}
+
+void DtsAggregates::merge_from(const DtsAggregates& other) {
+  reports_generated += other.reports_generated;
+  reports_delivered += other.reports_delivered;
+  eligible_generated += other.eligible_generated;
+  eligible_delivered += other.eligible_delivered;
+  local_buffer_drops += other.local_buffer_drops;
+  packets_abandoned += other.packets_abandoned;
+  sum_end_to_end_s += other.sum_end_to_end_s;
+  sum_wait_s += other.sum_wait_s;
+  wait_samples += other.wait_samples;
+  sum_dts_transfer_s += other.sum_dts_transfer_s;
+  sum_delivery_s += other.sum_delivery_s;
+  breakdown_samples += other.breakdown_samples;
+  latency_s.merge(other.latency_s);
+  wait_s.merge(other.wait_s);
+  attempts.merge(other.attempts);
+  for (int m = 0; m < energy::kModeCount; ++m)
+    fleet_residency.record(
+        static_cast<energy::Mode>(m),
+        other.fleet_residency.seconds_in(static_cast<energy::Mode>(m)));
 }
 
 double DtsNetworkResult::delivered_fraction() const {

@@ -152,7 +152,10 @@ struct DtsNetworkConfig {
   std::size_t trace_node_threshold = 4096;
   /// Tail exclusion (s) for the aggregate eligible-delivery ratio:
   /// reports generated within this long of the run end are not counted
-  /// as eligible (mirrors core::summarize_reliability's default).
+  /// as eligible (mirrors core::summarize_reliability's default). The
+  /// effective exclusion is clamped to half the run duration so a short
+  /// probe run (duration < 2x this default) still reports a nonzero
+  /// eligible population instead of excluding every report.
   double aggregate_tail_exclusion_s = 6.0 * 3600.0;
 
   /// Weather per simulated day at the node site; shorter vectors repeat
@@ -164,10 +167,17 @@ struct DtsNetworkConfig {
   /// Coarse pass-scan step (s). 60 s is safe for LEO (> 6-min passes).
   double pass_scan_step_s = 60.0;
   /// Pass-prediction fan-out (orbit::predict_passes_batch): 0 = all
-  /// hardware threads, 1 = exact serial legacy path. Only the upfront
-  /// window prediction is parallel; the event-driven simulation itself
-  /// stays serial and deterministic.
+  /// hardware threads, 1 = exact serial legacy path.
   unsigned pass_threads = 0;
+  /// Worker threads for the sharded aggregate-mode DES itself (runs above
+  /// trace_node_threshold nodes): 0 = all hardware threads, 1 = run the
+  /// shard schedule inline on the calling thread. Results are
+  /// thread-count-invariant BY CONSTRUCTION — every aggregate counter,
+  /// histogram bin and residency mode is bit-identical for any value
+  /// (enforced by tests/test_dts_parallel.cpp); the knob only changes
+  /// wall-clock time. Exact (trace) mode is a serial bit-parity replay of
+  /// the legacy engine and ignores this field.
+  unsigned sim_threads = 0;
 
   std::uint64_t seed = 42;
 
@@ -235,6 +245,13 @@ struct DtsAggregates {
   [[nodiscard]] double eligible_delivered_fraction() const;
   [[nodiscard]] double mean_end_to_end_s() const;
   [[nodiscard]] double mean_wait_s() const;
+
+  /// Fold a shard-local partial into this aggregate: counter addition,
+  /// double-sum addition, stats::Histogram::merge on each histogram and
+  /// per-mode residency addition. The parallel engine calls this in a
+  /// fixed shard order after its barrier, which is what keeps the merged
+  /// double sums bit-identical across thread counts.
+  void merge_from(const DtsAggregates& other);
 };
 
 struct DtsNetworkResult {

@@ -140,4 +140,14 @@ std::uint64_t derive_seed(std::uint64_t root, std::string_view component) {
   return h ^ (h >> 31);
 }
 
+std::uint64_t derive_stream(std::uint64_t base, std::uint64_t counter) {
+  // Advance `base` along the splitmix64 golden-ratio orbit by counter+1
+  // steps (closed form), then run the standard finalizer. The +1 keeps
+  // derive_stream(base, 0) != base itself even before mixing.
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (counter + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace sinet::sim

@@ -58,6 +58,16 @@ class Rng {
 [[nodiscard]] std::uint64_t derive_seed(std::uint64_t root,
                                         std::string_view component);
 
+/// Derive the `counter`-th child seed of `base` — the counter-based
+/// (numeric) sibling of derive_seed for hot paths that would otherwise
+/// format a string per draw (e.g. "node/<i>/event/<k>"). Splitmix64-style
+/// avalanche over (base, counter): consecutive counters yield unrelated
+/// seeds, so a per-entity stream family can be opened at any index in
+/// O(1) with no shared state. Deterministic across platforms; golden
+/// values pinned in test_sim.cpp.
+[[nodiscard]] std::uint64_t derive_stream(std::uint64_t base,
+                                          std::uint64_t counter);
+
 /// Factory producing independent named streams from one root seed.
 class RngFactory {
  public:

@@ -1,0 +1,106 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sinet::sim {
+
+namespace {
+
+/// Union-find over member indices with path halving; no rank (member
+/// counts per slice are small and the find chain is already short).
+class UnionFind {
+ public:
+  explicit UnionFind(std::uint32_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Union by smaller root index so the representative of a component is
+  /// always its smallest member — canonical without a second pass.
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+ConflictScheduler::ConflictScheduler(std::uint32_t member_count)
+    : member_count_(member_count) {}
+
+void ConflictScheduler::touch(std::uint32_t slice, std::uint32_t member,
+                              std::uint64_t resource) {
+  if (member >= member_count_)
+    throw std::out_of_range("ConflictScheduler: member out of range");
+  if (slice >= slices_.size()) slices_.resize(slice + 1);
+  slices_[slice].touches.emplace_back(resource, member);
+}
+
+void ConflictScheduler::activate(std::uint32_t slice, std::uint32_t member) {
+  if (member >= member_count_)
+    throw std::out_of_range("ConflictScheduler: member out of range");
+  if (slice >= slices_.size()) slices_.resize(slice + 1);
+  slices_[slice].active.push_back(member);
+}
+
+std::vector<SliceShards> ConflictScheduler::build() const {
+  std::vector<SliceShards> out(slices_.size());
+  for (std::size_t k = 0; k < slices_.size(); ++k) {
+    const SliceTouches& st = slices_[k];
+    if (st.touches.empty() && st.active.empty()) continue;
+
+    // Sort touches by (resource, member): equal-resource runs become
+    // union chains, and the sort makes the result insertion-order-free.
+    auto touches = st.touches;
+    std::sort(touches.begin(), touches.end());
+    touches.erase(std::unique(touches.begin(), touches.end()),
+                  touches.end());
+
+    UnionFind uf(member_count_);
+    std::vector<std::uint32_t> members;
+    members.reserve(touches.size() + st.active.size());
+    for (std::size_t i = 0; i < touches.size(); ++i) {
+      members.push_back(touches[i].second);
+      if (i > 0 && touches[i].first == touches[i - 1].first)
+        uf.unite(touches[i - 1].second, touches[i].second);
+    }
+    for (const std::uint32_t m : st.active) members.push_back(m);
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()),
+                  members.end());
+
+    // Emit components keyed by their (smallest-member) representative;
+    // iterating members in ascending order yields shards ordered by
+    // smallest member with each shard's list already sorted.
+    std::vector<std::int64_t> shard_of(member_count_, -1);
+    SliceShards& slice_out = out[k];
+    for (const std::uint32_t m : members) {
+      const std::uint32_t root = uf.find(m);
+      if (shard_of[root] < 0) {
+        shard_of[root] =
+            static_cast<std::int64_t>(slice_out.shards.size());
+        slice_out.shards.emplace_back();
+      }
+      slice_out.shards[static_cast<std::size_t>(shard_of[root])]
+          .push_back(m);
+    }
+  }
+  return out;
+}
+
+}  // namespace sinet::sim

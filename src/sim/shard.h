@@ -1,0 +1,67 @@
+// Deterministic conflict scheduling for sharded simulation.
+//
+// The parallel DtS engine (net/dts_batch.cpp) divides a run into fixed
+// time slices and, inside each slice, groups satellites whose footprints
+// touch a common ground location into one shard: shards never share a
+// mutable resource, so they can run concurrently on sim::ThreadPool with
+// no locks, and the schedule itself is a pure function of the input —
+// identical for every thread count. This header is the generic piece:
+// members (e.g. satellites) declare which resources (e.g. location
+// indices) they touch in which slice, and build() returns, per slice,
+// the connected components of the member/resource sharing graph as
+// sorted member lists in a canonical order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sinet::sim {
+
+/// Connected-component batches of one time slice: each inner vector is
+/// one shard (members sorted ascending); shards are ordered by their
+/// smallest member. Members of different shards share no resource within
+/// the slice and may execute concurrently.
+struct SliceShards {
+  std::vector<std::vector<std::uint32_t>> shards;
+};
+
+/// Accumulates (slice, member, resource) touches and computes the
+/// conflict schedule. Deterministic: the output depends only on the set
+/// of touches, not on insertion order. Not thread-safe during
+/// registration; build() is const and may be called repeatedly.
+class ConflictScheduler {
+ public:
+  /// `member_count` fixes the member index universe [0, member_count).
+  explicit ConflictScheduler(std::uint32_t member_count);
+
+  /// Record that `member` uses `resource` during `slice`. Two members
+  /// touching the same resource in the same slice land in one shard
+  /// (transitively). Grows the slice count as needed.
+  void touch(std::uint32_t slice, std::uint32_t member,
+             std::uint64_t resource);
+
+  /// Record that `member` is active in `slice` without claiming any
+  /// shared resource (e.g. a satellite draining its own buffer): it
+  /// becomes its own singleton shard unless touch() also links it.
+  void activate(std::uint32_t slice, std::uint32_t member);
+
+  [[nodiscard]] std::uint32_t slice_count() const noexcept {
+    return static_cast<std::uint32_t>(slices_.size());
+  }
+
+  /// Shards for every slice, in slice order. Slices with no active
+  /// member yield an empty shard list.
+  [[nodiscard]] std::vector<SliceShards> build() const;
+
+ private:
+  struct SliceTouches {
+    /// (resource, member) pairs; sorted + deduped at build time.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> touches;
+    std::vector<std::uint32_t> active;
+  };
+
+  std::uint32_t member_count_;
+  std::vector<SliceTouches> slices_;
+};
+
+}  // namespace sinet::sim

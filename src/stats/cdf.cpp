@@ -59,6 +59,19 @@ void EmpiricalCdf::add(std::span<const double> xs) {
   sorted_.store(false, std::memory_order_release);
 }
 
+void EmpiricalCdf::merge(const EmpiricalCdf& other) {
+  if (this == &other) {
+    // Self-merge doubles the multiset; copy first so the insert's
+    // potential reallocation never invalidates its own source range.
+    const std::vector<double> copy = samples_;
+    samples_.insert(samples_.end(), copy.begin(), copy.end());
+  } else {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+  sorted_.store(false, std::memory_order_release);
+}
+
 void EmpiricalCdf::ensure_sorted() const {
   // Double-checked: the fast path is one acquire load, so concurrent
   // queries from pool workers only contend on the very first call after a

@@ -37,6 +37,12 @@ class EmpiricalCdf {
   void add(double x);
   void add(std::span<const double> xs);
 
+  /// Append every sample of `other` (a mutation — see thread-safety note
+  /// above). Sample multiset union, so quantiles over the merged CDF
+  /// equal quantiles over the concatenated sample sets; merge order
+  /// never changes any query result.
+  void merge(const EmpiricalCdf& other);
+
   [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
   [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
 

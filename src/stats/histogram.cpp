@@ -37,6 +37,19 @@ void Histogram::add(double x, double weight) noexcept {
   counts_[idx] += weight;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size())
+    throw std::invalid_argument(
+        "Histogram::merge: incompatible binning (lo/hi/bins differ)");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  nan_ += other.nan_;
+  total_ += other.total_;
+}
+
 double Histogram::bin_lower_edge(std::size_t i) const noexcept {
   return lo_ + static_cast<double>(i) * width_;
 }

@@ -30,6 +30,14 @@ class Histogram {
   [[nodiscard]] double nan() const noexcept { return nan_; }
   [[nodiscard]] double total() const noexcept { return total_; }
 
+  /// Fold `other` into this histogram: elementwise bin-count addition
+  /// plus under/overflow, NaN and total mass. Both histograms must share
+  /// the exact binning (lo, hi, bin count) — throws std::invalid_argument
+  /// otherwise. Addition order is the caller's contract: merging
+  /// shard-local histograms in a fixed shard order yields bit-identical
+  /// totals regardless of how the shards were scheduled.
+  void merge(const Histogram& other);
+
   /// Fraction of total mass in bin i; 0 if the histogram is empty.
   [[nodiscard]] double fraction(std::size_t i) const;
 

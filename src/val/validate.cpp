@@ -95,6 +95,9 @@ ValidationReport run_scale_validation(const ValidationScenario& sc,
       sc.dts_nodes, sc.dts_sats, sc.dts_sites, start, sc.dts_days);
   cfg.seed = sc.seed;
   cfg.pass_threads = opts.threads;
+  // Simulation threads too: aggregates are thread-count-invariant, so
+  // the committed divergence gates hold for any worker count.
+  cfg.sim_threads = opts.threads;
   cfg.metrics = opts.metrics;
   const net::DtsNetworkResult dts = net::run_dts_network(cfg);
   const net::DtsAggregates& agg = dts.agg;

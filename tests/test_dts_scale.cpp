@@ -298,10 +298,15 @@ TEST(DtsAggregateMode, PublishesBoundedMemoryGauges) {
   ASSERT_TRUE(s.gauges.count("net.dts.scale.records_bytes"));
   EXPECT_EQ(s.gauges.at("net.dts.scale.records_bytes").value, 0.0)
       << "aggregate mode must not allocate per-packet records";
-  ASSERT_TRUE(s.gauges.count("sim.event_queue.max_pending"));
-  // One chained timeline entry per satellite, not one event per report:
-  // the pending high-water mark stays O(satellites).
-  EXPECT_LE(s.gauges.at("sim.event_queue.max_pending").value, 22.0 + 1.0);
+  // The sharded engine has no event queue at all — timelines are plain
+  // arrays walked by the conflict schedule.
+  EXPECT_FALSE(s.gauges.count("sim.event_queue.max_pending"));
+  ASSERT_TRUE(s.gauges.count("net.dts.parallel.threads"));
+  EXPECT_GE(s.gauges.at("net.dts.parallel.threads").value, 1.0);
+  ASSERT_TRUE(s.gauges.count("net.dts.parallel.slices"));
+  EXPECT_GT(s.gauges.at("net.dts.parallel.slices").value, 0.0);
+  ASSERT_TRUE(s.gauges.count("net.dts.parallel.shards"));
+  EXPECT_GT(s.gauges.at("net.dts.parallel.shards").value, 0.0);
   EXPECT_GT(res.agg.reports_generated, 0u);
 }
 

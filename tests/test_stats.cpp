@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "stats/cdf.h"
@@ -233,6 +234,95 @@ TEST(Histogram, RenderProducesOneLinePerBin) {
   h.add(1.5);
   const std::string r = h.render(10);
   EXPECT_EQ(std::count(r.begin(), r.end(), '\n'), 3);
+}
+
+TEST(HistogramMerge, CompatibleMergeEqualsSequentialFill) {
+  // Golden for the parallel DtS engine's shard reduction: merging
+  // shard-local histograms must equal filling one histogram with the
+  // concatenated samples — exactly, bin for bin.
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  Histogram both(0.0, 10.0, 5);
+  const std::vector<double> xa = {0.5, 2.5, 9.9, -1.0, 11.0};
+  const std::vector<double> xb = {0.5, 4.5, 4.6, std::nan(""), 12.0};
+  for (const double x : xa) {
+    a.add(x);
+    both.add(x);
+  }
+  for (const double x : xb) {
+    b.add(x);
+    both.add(x);
+  }
+  a.merge(b);
+  for (std::size_t i = 0; i < both.bin_count(); ++i)
+    EXPECT_EQ(a.count(i), both.count(i)) << "bin " << i;
+  EXPECT_EQ(a.underflow(), both.underflow());
+  EXPECT_EQ(a.overflow(), both.overflow());
+  EXPECT_EQ(a.nan(), both.nan());
+  EXPECT_EQ(a.total(), both.total());
+  // Golden spot-checks so a binning change cannot slip through silently.
+  EXPECT_EQ(a.count(0), 2.0);
+  EXPECT_EQ(a.count(1), 1.0);
+  EXPECT_EQ(a.count(2), 2.0);
+  EXPECT_EQ(a.count(4), 1.0);
+  EXPECT_EQ(a.underflow(), 1.0);
+  EXPECT_EQ(a.overflow(), 2.0);
+  EXPECT_EQ(a.nan(), 1.0);
+  EXPECT_EQ(a.total(), 10.0);
+}
+
+TEST(HistogramMerge, MergeWithEmptyIsNoop) {
+  Histogram a(0.0, 1.0, 4);
+  a.add(0.3);
+  const Histogram empty(0.0, 1.0, 4);
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 1.0);
+  EXPECT_EQ(a.count(1), 1.0);
+}
+
+TEST(HistogramMerge, IncompatibleBinningThrows) {
+  Histogram a(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(Histogram(0.0, 10.0, 6)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(0.0, 9.0, 5)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(1.0, 10.0, 5)), std::invalid_argument);
+}
+
+TEST(EmpiricalCdfMerge, MergeEqualsConcatenatedSamples) {
+  EmpiricalCdf a({5.0, 1.0, 3.0});
+  const EmpiricalCdf b({2.0, 4.0});
+  a.merge(b);
+  const EmpiricalCdf both({5.0, 1.0, 3.0, 2.0, 4.0});
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.median(), both.median());
+  EXPECT_EQ(a.quantile(0.0), 1.0);
+  EXPECT_EQ(a.quantile(1.0), 5.0);
+  EXPECT_EQ(a.fraction_at_or_below(2.5), both.fraction_at_or_below(2.5));
+}
+
+TEST(EmpiricalCdfMerge, MergeAfterQueryKeepsQueriesConsistent) {
+  // A query sorts lazily; a merge afterwards must re-mark dirty so later
+  // quantiles see the union, not the stale sorted view.
+  EmpiricalCdf a({3.0, 1.0});
+  EXPECT_EQ(a.median(), 2.0);
+  a.merge(EmpiricalCdf({100.0}));
+  EXPECT_EQ(a.quantile(1.0), 100.0);
+}
+
+TEST(EmpiricalCdfMerge, SelfMergeDoublesSamples) {
+  EmpiricalCdf a({1.0, 2.0});
+  a.merge(a);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.quantile(1.0), 2.0);
+  EXPECT_EQ(a.quantile(0.0), 1.0);
+}
+
+TEST(EmpiricalCdfMerge, MergeEmptyIsNoop) {
+  EmpiricalCdf a({1.0});
+  a.merge(EmpiricalCdf{});
+  EXPECT_EQ(a.size(), 1u);
+  EmpiricalCdf empty;
+  empty.merge(a);
+  EXPECT_EQ(empty.size(), 1u);
 }
 
 }  // namespace

@@ -89,6 +89,7 @@ fi
 if [[ -x "$sinet_cli" ]]; then
   echo "== scale probe (sinet dts --nodes 100000 --sats 100)"
   "$sinet_cli" dts --nodes 100000 --sats 100 --sites 64 --days 0.05 \
+               --threads "$(nproc 2>/dev/null || echo 1)" \
                | tee "$out_dir/scale_probe.txt"
 fi
 
@@ -151,14 +152,29 @@ scale = {}
 for row in merged.get("bench_ablation_scale", {}).get("benchmarks", []):
     name = row.get("name", "")
     if name.startswith("BM_ScaleEngine_"):
-        # "BM_ScaleEngine_Batched/50000/iterations:1" -> "Batched/50000"
+        # "BM_ScaleEngine_Batched/50000/iterations:1"    -> "Batched/50000"
+        # "BM_ScaleEngine_Parallel/50000/4/iterations:1" -> "Parallel/50000/4T"
         arm = name[len("BM_ScaleEngine_"):]
-        arm = "/".join(arm.split("/")[:2])
+        parts = arm.split("/")
+        if parts[0] == "Parallel":
+            arm = "/".join(parts[:2]) + "/" + parts[2] + "T"
+        else:
+            arm = "/".join(parts[:2])
         scale.setdefault("wall_ms", {})[arm] = row.get("real_time")
 wall = scale.get("wall_ms", {})
 if "Legacy/2000" in wall and wall.get("Batched/2000"):
     scale["speedup_vs_legacy_2000"] = round(
         wall["Legacy/2000"] / wall["Batched/2000"], 2)
+# Thread-scaling of the sharded engine: speedup of each Parallel arm
+# over its own 1-thread reference at the same population.
+parallel_speedup = {}
+for arm, ms in wall.items():
+    if arm.startswith("Parallel/") and ms:
+        ref = wall.get("/".join(arm.split("/")[:2]) + "/1T")
+        if ref:
+            parallel_speedup[arm] = round(ref / ms, 2)
+if parallel_speedup:
+    scale["parallel_speedup_vs_1t"] = parallel_speedup
 probe = out_dir / "scale_probe.txt"
 if probe.exists():
     kv = {}

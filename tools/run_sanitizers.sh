@@ -43,6 +43,18 @@ for p in "${presets[@]}"; do
     echo "==== [$p] FAILED" >&2
     failed+=("$p")
   fi
+  if [[ "$p" == tsan ]]; then
+    # The parallel DtS engine's dedicated race hunt: 10k nodes on four
+    # co-located sites, four workers — the most footprint sharing the
+    # conflict scheduler can be handed. Runs again outside ctest so the
+    # stress case is never lost to a sharded/filtered ctest invocation.
+    echo "==== [$p] parallel DtS stress"
+    if ! "build-$p/tests/test_dts_parallel" \
+        --gtest_filter='DtsParallelStress.*'; then
+      echo "==== [$p] parallel DtS stress FAILED" >&2
+      failed+=("$p-dts-stress")
+    fi
+  fi
 done
 
 if [[ ${#failed[@]} -gt 0 ]]; then
